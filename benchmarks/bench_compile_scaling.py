@@ -1,0 +1,34 @@
+"""App. B: compiler-side throughput versus code distance."""
+
+import pytest
+
+from benchmarks.conftest import fresh_patch, print_table
+
+
+@pytest.mark.parametrize("d", [2, 3, 5])
+def test_bench_compile_idle_round(benchmark, d):
+    def compile_round():
+        grid, _, lq, c, _ = fresh_patch(d, d)
+        lq.idle(c, rounds=1)
+        return c
+
+    c = benchmark(compile_round)
+    assert c.count("ZZ") > 0
+
+
+def test_instruction_counts_scale_quadratically():
+    rows = []
+    counts = []
+    for d in (2, 3, 5, 7):
+        grid, _, lq, c, _ = fresh_patch(d, d)
+        lq.idle(c, rounds=1)
+        counts.append(len(c))
+        rows.append([d, d * d - 1, len(c), c.count("ZZ"), c.count("Move")])
+    print_table(
+        "App. B — compiled instructions per round of error correction",
+        ["d", "faces", "native instrs", "ZZ", "Move"],
+        rows,
+    )
+    # ~d^2 faces -> ~d^2 instructions: check super-linear, sub-cubic growth.
+    assert counts[-1] / counts[0] > (7 / 2) ** 1.5
+    assert counts[-1] / counts[0] < (7 / 2) ** 3

@@ -1,0 +1,44 @@
+"""Fig 1: the standard arrangement superimposed on the M/O/J grid."""
+
+from benchmarks.conftest import print_table
+from repro.code.patch_layout import PatchLayout
+from repro.hardware.grid import GridManager
+from repro.util.geometry import SiteType
+
+
+def test_fig1_standard_arrangement_render():
+    grid = GridManager(5, 5)
+    layout = PatchLayout(grid, 3, 3)
+    art = layout.render_ascii()
+    print("\nFig 1 — standard arrangement, d=3 ('D' data, 'z'/'x' measure homes):")
+    print(art)
+    assert art.count("D") == 9
+    assert art.count("z") + art.count("x") == 8
+
+
+def test_fig1_site_census():
+    grid = GridManager(5, 5)
+    layout = PatchLayout(grid, 3, 3)
+    data = list(layout.data_sites().values())
+    homes = [p.home for p in layout.plaquettes()]
+    rows = [
+        ["data qubits (on O sites)", len(data)],
+        ["measure qubits (homes)", len(homes)],
+        ["X faces", sum(1 for p in layout.plaquettes() if p.pauli == "X")],
+        ["Z faces", sum(1 for p in layout.plaquettes() if p.pauli == "Z")],
+        ["tile unit rows x cols", f"{layout.tile_rows} x {layout.tile_cols}"],
+    ]
+    print_table("Fig 1 — census (d=3 logical tile)", ["item", "count"], rows)
+    for s in data:
+        assert grid.site_type(s) is SiteType.OPERATION
+    assert len(homes) == len(set(homes))
+
+
+def test_bench_layout_construction(benchmark):
+    grid = GridManager(8, 8)
+
+    def build():
+        return PatchLayout(grid, 5, 5).plaquettes()
+
+    plaqs = benchmark(build)
+    assert len(plaqs) == 24

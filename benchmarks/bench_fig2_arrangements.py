@@ -1,0 +1,58 @@
+"""Fig 2: the four canonical stabilizer arrangements."""
+
+from benchmarks.conftest import fresh_patch, print_table, simulate
+from repro.code.arrangements import Arrangement
+from repro.code.patch_layout import PatchLayout
+from repro.hardware.grid import GridManager
+
+
+def test_fig2_four_arrangements():
+    rows = []
+    for arr in Arrangement:
+        grid = GridManager(5, 5)
+        layout = PatchLayout(grid, 3, 3, arrangement=arr)
+        top = sorted(fj for (fi, fj) in layout.face_coords() if fi == -1)
+        left = sorted(fi for (fi, fj) in layout.face_coords() if fj == -1)
+        rows.append([
+            arr.name,
+            layout.face_letter(0, 0),
+            arr.vertical_letter,
+            arr.horizontal_letter,
+            str(top),
+            str(left),
+        ])
+    print_table(
+        "Fig 2 — canonical arrangements (d=3)",
+        ["arrangement", "face(0,0)", "vertical logical", "horizontal logical",
+         "top faces", "left faces"],
+        rows,
+    )
+    # The (b)/(c) pictures share logical orientation, as do (a)/(d).
+    assert Arrangement.ROTATED.vertical_letter == Arrangement.FLIPPED.vertical_letter
+    assert Arrangement.STANDARD.vertical_letter == Arrangement.ROTATED_FLIPPED.vertical_letter
+
+
+def test_fig2_accessible_through_member_functions():
+    """All arrangements reachable via xz_swap (transversal H) and flip_patch."""
+    a = Arrangement.STANDARD
+    assert a.after_transversal_hadamard() is Arrangement.ROTATED
+    assert a.after_flip_patch() is Arrangement.FLIPPED
+    assert a.after_flip_patch().after_transversal_hadamard() is Arrangement.ROTATED_FLIPPED
+
+
+def test_bench_prepare_each_arrangement(benchmark):
+    def prep_all():
+        out = []
+        for arr in Arrangement:
+            grid, _, lq, c, occ0 = fresh_patch(3, 3, arr)
+            lq.prepare(c, basis="Z", rounds=1)
+            out.append((grid, c, occ0, lq))
+        return out
+
+    results = benchmark(prep_all)
+    for grid, c, occ0, lq in results:
+        res = simulate(grid, c, occ0, seed=1)
+        v = res.expectation(lq.logical_z.pauli)
+        for lab in lq.logical_z.corrections:
+            v *= res.sign(lab)
+        assert v == 1

@@ -1,0 +1,73 @@
+"""Fig 4: Move Right + Swap Left — arrangement map on one tile, one step."""
+
+from benchmarks.conftest import print_table, simulate
+from repro.code.arrangements import Arrangement
+from repro.code.logical_qubit import LogicalQubit
+from repro.code.translation import move_right_swap_left
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.hardware.model import HardwareModel
+
+
+def _run(start: Arrangement, seed: int):
+    grid = GridManager(4, 8)
+    model = HardwareModel(grid)
+    lq = LogicalQubit(grid, model, 3, 3, (0, 0), arrangement=start, name="A")
+    occ0 = grid.occupancy()
+    c = HardwareCircuit()
+    lq.prepare(c, basis="Z", rounds=1)
+    n0 = len(c)
+    final, _ = move_right_swap_left(c, lq, rounds=1)
+    res = simulate(grid, c, occ0, seed=seed)
+    v = res.expectation(final.logical_z.pauli)
+    for lab in final.logical_z.corrections:
+        v *= res.sign(lab)
+    return final, v, len(c) - n0, c
+
+
+def test_fig4_both_mappings():
+    rows = []
+    for start, end in [
+        (Arrangement.STANDARD, Arrangement.ROTATED_FLIPPED),
+        (Arrangement.ROTATED, Arrangement.FLIPPED),
+    ]:
+        final, v, n_instr, c = _run(start, seed=4)
+        assert final.arrangement is end
+        assert final.layout.origin == (0, 0)  # back on the original tile
+        assert v == 1
+        rows.append([start.name, end.name, v, n_instr])
+    print_table(
+        "Fig 4 — Move Right + Swap Left (d=3, one logical time-step)",
+        ["start", "end", "<Z_L>", "native instrs"],
+        rows,
+    )
+
+
+def test_fig4_swap_left_movement_only():
+    grid = GridManager(4, 8)
+    model = HardwareModel(grid)
+    lq = LogicalQubit(grid, model, 3, 3, (0, 0), name="A")
+    c = HardwareCircuit()
+    lq.prepare(c, basis="Z", rounds=1)
+    from repro.code.translation import move_right, swap_left
+
+    shifted, _ = move_right(c, lq, rounds=1)
+    n0 = len(c)
+    swap_left(c, shifted)
+    tail = c.instructions[n0:]
+    assert all(i.name in ("Move", "Load") for i in tail)
+    print(f"\nFig 4 — Swap Left used {len(tail)} movement instructions, zero gates")
+
+
+def test_bench_move_right_swap_left(benchmark):
+    def do():
+        grid = GridManager(4, 8)
+        model = HardwareModel(grid)
+        lq = LogicalQubit(grid, model, 3, 3, (0, 0), name="A")
+        c = HardwareCircuit()
+        lq.prepare(c, basis="Z", rounds=1)
+        final, _ = move_right_swap_left(c, lq, rounds=1)
+        return final
+
+    final = benchmark(do)
+    assert final.arrangement is Arrangement.ROTATED_FLIPPED

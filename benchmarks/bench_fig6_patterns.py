@@ -1,0 +1,53 @@
+"""Fig 6: the Z and N measure-qubit interaction patterns."""
+
+from benchmarks.conftest import fresh_patch, print_table
+
+
+def test_fig6_patterns_reproduced():
+    from repro.code.plaquette import N_PATTERN, Z_PATTERN
+
+    print_table(
+        "Fig 6 — measure-qubit interaction patterns",
+        ["pattern", "visit order (a=NW b=NE c=SW d=SE)", "used by"],
+        [
+            ["Z", " -> ".join(Z_PATTERN), "Z-type stabilizers"],
+            ["N", " -> ".join(N_PATTERN), "X-type stabilizers"],
+        ],
+    )
+    assert Z_PATTERN == ("a", "b", "c", "d")
+    assert N_PATTERN == ("a", "c", "b", "d")
+
+
+def test_fig6_hook_error_orientation():
+    """The first two visits run perpendicular to the same-type logical so a
+    mid-circuit measure-qubit fault cannot create two data errors parallel
+    to it (§3.3)."""
+    _, _, lq, _, _ = fresh_patch(5, 5)
+    rows = []
+    for pauli in ("Z", "X"):
+        plaq = next(p for p in lq.plaquettes if p.pauli == pauli and p.weight == 4)
+        order = [plaq.corners[c] for _, c in plaq.visits()]
+        direction = "row" if order[0][0] == order[1][0] else "column"
+        rows.append([f"{pauli} face {plaq.face}", str(order), direction])
+        if pauli == "Z":
+            assert direction == "row"  # perpendicular to vertical Z_L
+        else:
+            assert direction == "column"  # perpendicular to horizontal X_L
+    print_table("Fig 6 — first-interaction direction", ["face", "visit order", "pair axis"], rows)
+
+
+def test_fig6_schedule_compiles_to_moves_and_gates(benchmark):
+    def one_round():
+        grid, _, lq, c, _ = fresh_patch(3, 3)
+        lq.idle(c, rounds=1)
+        return c
+
+    c = benchmark(one_round)
+    hist = c.gate_histogram()
+    print_table(
+        "Fig 6 — one round of syndrome extraction, d=3 native histogram",
+        ["gate", "count"],
+        [[k, v] for k, v in hist.items()],
+    )
+    # One ZZ per (face, corner): 4 weight-4 + 4 weight-2 faces at d=3.
+    assert hist["ZZ"] == 4 * 4 + 4 * 2

@@ -1,0 +1,72 @@
+"""Table 1: the local lattice-surgery instruction set.
+
+Reproduces the instruction rows (tiles in/out, logical time-steps) by
+compiling each instruction and counting; benchmarks compile throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.compiler import TISCC
+from repro.core.instructions import TABLE1
+
+CASES = [
+    ("PrepareZ", [("PrepareZ", (0, 0))], (1, 1), 1, 1),
+    ("PrepareX", [("PrepareX", (0, 0))], (1, 1), 1, 1),
+    ("InjectY", [("InjectY", (0, 0))], (1, 1), 1, 0),
+    ("MeasureZ", [("PrepareZ", (0, 0)), ("MeasureZ", (0, 0))], (1, 1), 1, 0),
+    ("PauliX", [("PrepareZ", (0, 0)), ("PauliX", (0, 0))], (1, 1), 1, 0),
+    ("Hadamard", [("PrepareZ", (0, 0)), ("Hadamard", (0, 0))], (1, 1), 1, 0),
+    ("Idle", [("PrepareZ", (0, 0)), ("Idle", (0, 0))], (1, 1), 1, 1),
+    (
+        "MeasureZZ",
+        [("PrepareZ", (0, 0)), ("PrepareZ", (0, 1)), ("MeasureZZ", (0, 0), (0, 1))],
+        (1, 2),
+        2,
+        1,
+    ),
+    (
+        "MeasureXX",
+        [("PrepareZ", (0, 0)), ("PrepareZ", (1, 0)), ("MeasureXX", (0, 0), (1, 0))],
+        (2, 1),
+        2,
+        1,
+    ),
+]
+
+
+def test_table1_logical_timesteps_match_paper():
+    rows = []
+    for name, program, shape, tiles, steps in CASES:
+        compiler = TISCC(dx=3, dz=3, tile_rows=shape[0], tile_cols=shape[1], rounds=1)
+        compiled = compiler.compile(program, operation=name)
+        measured = compiled.results[-1].logical_timesteps
+        assert measured == steps, f"{name}: measured {measured} steps, paper says {steps}"
+        assert len(compiled.results[-1].tiles) == tiles
+        rows.append([name, tiles, steps, len(compiled.circuit),
+                     f"{compiled.circuit.makespan/1000:.2f} ms"])
+    print_table(
+        "Table 1 — local lattice-surgery instruction set (d=3, 1 round/step)",
+        ["instruction", "tiles", "logical steps", "native instrs", "makespan"],
+        rows,
+    )
+
+
+def test_table1_covers_all_paper_rows():
+    bench_names = {c[0] for c in CASES}
+    assert {"PrepareZ", "PrepareX", "InjectY", "MeasureZ", "PauliX",
+            "Hadamard", "Idle", "MeasureZZ", "MeasureXX"} <= bench_names
+    assert set(TABLE1) >= bench_names - {"MeasureZ"} | {"MeasureZ"}
+
+
+@pytest.mark.parametrize("name", ["PrepareZ", "Idle", "MeasureZZ"])
+def test_bench_compile(benchmark, name):
+    case = next(c for c in CASES if c[0] == name)
+    _, program, shape, _, _ = case
+
+    def compile_once():
+        compiler = TISCC(dx=3, dz=3, tile_rows=shape[0], tile_cols=shape[1], rounds=1)
+        return compiler.compile(program, operation=name)
+
+    compiled = benchmark(compile_once)
+    assert len(compiled.circuit) > 0

@@ -1,0 +1,81 @@
+"""Table 3: the derived instruction set (Bell ops, Move, fusions)."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.compiler import TISCC
+from repro.core.derived import TABLE3
+from repro.hardware.circuit import HardwareCircuit
+
+CASES = [
+    ("BellPrepare", "2/2", 1, lambda ops, c: ops.bell_prepare(c, (0, 0), (0, 1)), None),
+    ("BellMeasure", "2/2", 1,
+     lambda ops, c: ops.bell_prepare(c, (0, 0), (0, 1)),
+     lambda ops, c: ops.bell_measure(c, (0, 0), (0, 1))),
+    ("ExtendSplit", "2/2", 1,
+     lambda ops, c: ops.prepare_x(c, (0, 0)),
+     lambda ops, c: ops.extend_split(c, (0, 0))),
+    ("MergeContract", "2/2", 1,
+     lambda ops, c: (ops.prepare_x(c, (0, 0)), ops.prepare_x(c, (0, 1))),
+     lambda ops, c: ops.merge_contract(c, (0, 0), (0, 1))),
+    ("Move", "2/2", 1,
+     lambda ops, c: ops.prepare_z(c, (0, 0)),
+     lambda ops, c: ops.move(c, (0, 0))),
+    ("PatchExtension", "1/2", 1,
+     lambda ops, c: ops.prepare_z(c, (0, 0)),
+     lambda ops, c: ops.patch_extension(c, (0, 0))),
+]
+
+
+def test_table3_derived_instruction_costs():
+    rows = []
+    for name, tiles, steps, setup, op in CASES:
+        compiler = TISCC(dx=3, dz=3, tile_rows=1, tile_cols=2, rounds=1)
+        circuit = HardwareCircuit()
+        setup(compiler.ops, circuit)
+        n0 = len(circuit)
+        result = op(compiler.ops, circuit) if op else None
+        if op is None:
+            result_steps = steps
+        else:
+            result_steps = result.logical_timesteps
+        assert result_steps == steps, f"{name}: {result_steps} != {steps}"
+        assert TABLE3[name] == (tiles, steps)
+        rows.append([name, tiles, steps, len(circuit) - n0,
+                     f"{circuit.makespan/1000:.2f} ms"])
+    # PatchContraction: 0 steps.
+    compiler = TISCC(dx=3, dz=3, tile_rows=1, tile_cols=2, rounds=1)
+    circuit = HardwareCircuit()
+    compiler.ops.prepare_z(circuit, (0, 0))
+    ext = compiler.ops.patch_extension(circuit, (0, 0))
+    n0 = len(circuit)
+    contraction = compiler.ops.patch_contraction(circuit, ext, keep="near")
+    assert contraction.logical_timesteps == 0
+    rows.append(["PatchContraction", "2/1", 0, len(circuit) - n0,
+                 f"{circuit.makespan/1000:.2f} ms"])
+    print_table(
+        "Table 3 — derived instruction set (d=3, 1 round/step)",
+        ["operation", "tiles in/out", "logical steps", "native instrs", "makespan"],
+        rows,
+    )
+
+
+def test_bench_bell_prepare(benchmark):
+    def bell():
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        c = HardwareCircuit()
+        return compiler.ops.bell_prepare(c, (0, 0), (0, 1))
+
+    res = benchmark(bell)
+    assert res.name == "BellPrepare"
+
+
+def test_bench_move(benchmark):
+    def mv():
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        c = HardwareCircuit()
+        compiler.ops.prepare_z(c, (0, 0))
+        return compiler.ops.move(c, (0, 0))
+
+    res = benchmark(mv)
+    assert res.name == "Move"

@@ -1,0 +1,67 @@
+"""Table 5 / Fig 5: the native trapped-ion gate set and its timings."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.hardware.model import GATE_TIMES_US, HardwareModel
+
+PAPER_TABLE5 = {
+    "Prepare_Z": 10.0,
+    "Measure_Z": 120.0,
+    "X_pi/2": 10.0,
+    "X_pi/4": 10.0,
+    "Y_pi/2": 10.0,
+    "Y_pi/4": 10.0,
+    "Z_pi/2": 3.0,
+    "Z_pi/4": 3.0,
+    "Z_pi/8": 3.0,
+    "ZZ": 2000.0,
+    "Move": 5.25,
+    "Junction": 105.0,
+}
+
+
+def test_table5_reproduced_exactly():
+    rows = []
+    for name, paper_us in PAPER_TABLE5.items():
+        ours = GATE_TIMES_US[name]
+        assert ours == pytest.approx(paper_us), name
+        rows.append([name, f"{paper_us:g}", f"{ours:g}", "match"])
+    print_table(
+        "Table 5 / Fig 5 — native trapped-ion gate set",
+        ["operation", "paper (µs)", "ours (µs)", "status"],
+        rows,
+    )
+
+
+def test_bench_native_gate_emission(benchmark):
+    """Throughput of appending native gates through the scheduling stack."""
+
+    def emit_many():
+        grid = GridManager(2, 2)
+        model = HardwareModel(grid)
+        c = HardwareCircuit()
+        ion = grid.add_ion(grid.index(0, 1))
+        for _ in range(200):
+            model.native1(c, "Z_pi/4", ion)
+        return c
+
+    c = benchmark(emit_many)
+    assert len(c) == 200
+
+
+def test_bench_cnot_emission(benchmark):
+    def emit_cnots():
+        grid = GridManager(2, 2)
+        model = HardwareModel(grid)
+        c = HardwareCircuit()
+        a = grid.add_ion(grid.index(0, 1))
+        b = grid.add_ion(grid.index(0, 2))
+        for _ in range(50):
+            model.cnot(c, a, b)
+        return c
+
+    c = benchmark(emit_cnots)
+    assert c.count("ZZ") == 50

@@ -1,0 +1,51 @@
+"""A fault-tolerant CNOT by lattice surgery (paper §2.1).
+
+The control and target tiles sit diagonally; the ancilla tile between them
+is prepared in |+>, joined to the control by a ZZ measurement and to the
+target by an XX measurement, then measured out — the Horsman et al.
+protocol.  The Pauli-frame corrections conditioned on the three outcomes
+are applied in classical post-processing (§4.5).
+
+Run:  python examples/lattice_surgery_cnot.py
+"""
+
+from repro import TISCC
+from repro.core.router import lattice_surgery_cnot
+from repro.hardware.circuit import HardwareCircuit
+from repro.sim.interpreter import CircuitInterpreter
+
+def run_once(control_state: str, seed: int) -> tuple[int, int]:
+    compiler = TISCC(dx=2, dz=2, tile_rows=2, tile_cols=2, rounds=1)
+    ops = compiler.ops
+    circuit = HardwareCircuit()
+    occ0 = compiler.tiles.occupancy_snapshot()
+
+    control, ancilla, target = (0, 0), (0, 1), (1, 1)
+    ops.prepare_z(circuit, control)
+    if control_state == "1":
+        ops.pauli(circuit, control, "X")
+    ops.prepare_z(circuit, target)
+
+    cnot = lattice_surgery_cnot(ops, circuit, control, target, ancilla)
+
+    mc = ops.measure(circuit, control, "Z")
+    mt = ops.measure(circuit, target, "Z")
+
+    result = CircuitInterpreter(compiler.grid, seed=seed).run(circuit, occ0)
+    z_control = mc.value(result)
+    z_target = mt.value(result) * (-1 if cnot.x_on_target(result) else 1)
+    return z_control, z_target
+
+def main() -> None:
+    print("CNOT(control -> target) on computational basis states")
+    print("(merge outcomes are random; corrections make the result exact)\n")
+    for state, expected in (("0", (1, 1)), ("1", (-1, -1))):
+        for seed in range(4):
+            zc, zt = run_once(state, seed)
+            status = "ok" if (zc, zt) == expected else "FAIL"
+            print(f"  |{state}0>  seed={seed}:  Z_C={zc:+d}  Z_T={zt:+d}   [{status}]")
+            assert (zc, zt) == expected
+    print("\nall outcome branches reproduce the CNOT truth table")
+
+if __name__ == "__main__":
+    main()

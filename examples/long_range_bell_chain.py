@@ -1,0 +1,44 @@
+"""Long-range entanglement in two logical time-steps (paper §2.1).
+
+"In one step, local tile-based operations create a chain of local Bell
+states along a path of tiles connecting the targets.  In a second step, a
+set of Bell measurements along the chain propagate entanglement to the
+chain ends."
+
+Run:  python examples/long_range_bell_chain.py
+"""
+
+from repro import TISCC
+from repro.core.router import bell_chain
+from repro.hardware.circuit import HardwareCircuit
+from repro.sim.interpreter import CircuitInterpreter
+
+def main() -> None:
+    cols = 4
+    compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=cols, rounds=1)
+    circuit = HardwareCircuit()
+    occ0 = compiler.tiles.occupancy_snapshot()
+
+    path = [(0, c) for c in range(cols)]
+    chain = bell_chain(compiler.ops, circuit, path)
+    print(f"entangled tiles {chain.ends[0]} and {chain.ends[1]} across "
+          f"{cols} tiles in {chain.logical_timesteps} logical time-steps")
+    print(f"({len(circuit)} native instructions, "
+          f"makespan {circuit.makespan/1000:.1f} ms)")
+
+    mz_a = compiler.ops.measure(circuit, path[0], "Z")
+    mz_b = compiler.ops.measure(circuit, path[-1], "Z")
+
+    print("\nend-to-end ZZ correlations (frame-corrected):")
+    for seed in range(5):
+        res = CircuitInterpreter(compiler.grid, seed=seed).run(circuit, occ0)
+        za, zb = mz_a.value(res), mz_b.value(res)
+        expected = chain.zz_sign(res)
+        ok = "ok" if za * zb == expected else "FAIL"
+        print(f"  seed {seed}: Z_a={za:+d} Z_b={zb:+d}  "
+              f"frame-predicted ZZ={expected:+d}   [{ok}]")
+        assert za * zb == expected
+    print("\nthe remote pair behaves as a Bell state with tracked frames")
+
+if __name__ == "__main__":
+    main()

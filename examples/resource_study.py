@@ -1,0 +1,28 @@
+"""Resource co-design study (paper §1 motivation 1-2, §3.4).
+
+Sweeps code distance for the core instruction set and prints the paper's
+resource metrics — the workflow for sizing a trapped-ion processor for a
+fault-tolerant algorithm.
+
+Run:  python examples/resource_study.py
+"""
+
+from repro.estimator.report import format_resource_table
+from repro.estimator.sweep import sweep_operation
+
+def main() -> None:
+    distances = [2, 3, 5]
+    for op in ("PrepareZ", "Idle", "MeasureZZ", "BellPrepare", "Move"):
+        reports = sweep_operation(op, distances, rounds=1)
+        print(format_resource_table(reports, title=f"{op} vs code distance"))
+        print()
+
+    # Derived headline: time per round of error correction is dominated by
+    # the four sequential 2 ms ZZ layers and grows only weakly with d.
+    idle = sweep_operation("Idle", distances, rounds=1)
+    print("round-time scaling (weak in d — parallel plaquettes):")
+    for r in idle:
+        print(f"  d={r.dx}: {r.computation_time_s*1000:.2f} ms for prep + 1 idle round")
+
+if __name__ == "__main__":
+    main()

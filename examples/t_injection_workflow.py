@@ -1,0 +1,50 @@
+"""T-state injection with quasi-Clifford Monte-Carlo verification (§4.1).
+
+Demonstrates the paper's motivation (4): "developing explicit workflows for
+translating measurement outcomes into values of logical operators".  The
+injected |T> state's logical Pauli expectations are estimated by sampling
+Clifford substitutes for the single non-Clifford Z_pi/8 gate, folding every
+shot's Pauli-frame corrections from the recorded measurement outcomes.
+
+Run:  python examples/t_injection_workflow.py
+"""
+
+import numpy as np
+
+from repro.code.logical_qubit import LogicalQubit
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.hardware.model import HardwareModel
+from repro.sim.interpreter import CircuitInterpreter
+from repro.sim.quasi import estimate_expectation
+
+def main() -> None:
+    grid = GridManager(5, 5)
+    model = HardwareModel(grid)
+    lq = LogicalQubit(grid, model, dx=3, dz=3)
+    occ0 = grid.occupancy()
+    circuit = HardwareCircuit()
+    lq.inject_state(circuit, "T", rounds=1)
+
+    print(f"compiled T injection: {len(circuit)} native instructions "
+          f"({circuit.count('Z_pi/8')} non-Clifford gate)")
+
+    shots = 2000
+    for name, op in (("X_L", lq.logical_x), ("Y_L", lq.logical_y()), ("Z_L", lq.logical_z)):
+        def shot(k, op=op):
+            res = CircuitInterpreter(grid, seed=hash((name, k)) % 2**31).run(circuit, occ0)
+            v = res.expectation(op.pauli)
+            for label in op.corrections:
+                v *= res.sign(label)  # §4.5 post-processing
+            return v, res.weight
+
+        mean, err = estimate_expectation(shot, shots)
+        ideal = {"X_L": 1 / np.sqrt(2), "Y_L": 1 / np.sqrt(2), "Z_L": 0.0}[name]
+        sigma = abs(mean - ideal) / err if err > 0 else 0.0
+        print(f"  <{name}> = {mean:+.3f} ± {err:.3f}   ideal {ideal:+.3f}   ({sigma:.1f} sigma)")
+
+    print(f"\n{shots} Monte-Carlo shots; sample variance amplified by "
+          "gamma^2 = 2 per T gate (§4.1)")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro: a Python reproduction of TISCC (LeBlond et al., SC-W 2023).
+
+The Trapped-Ion Surface Code Compiler generates hardware-level circuits and
+resource estimates for surface-code patch operations on trapped-ion
+processors, and verifies them with a quasi-Clifford simulator.  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the reproduced
+tables and figures.
+
+Quickstart::
+
+    from repro import TISCC
+    compiler = TISCC(dx=3, dz=3, tile_rows=1, tile_cols=2)
+    compiled = compiler.compile([
+        ("PrepareZ", (0, 0)),
+        ("PrepareZ", (0, 1)),
+        ("MeasureZZ", (0, 0), (0, 1)),
+    ])
+    print(compiled.resources.row())
+    result = compiler.simulate(compiled, seed=1)
+    print("ZZ outcome:", compiled.results[-1].value(result))
+"""
+
+from repro.core.compiler import TISCC, CompiledOperation
+from repro.core.tiles import TileGrid
+from repro.code.logical_qubit import LogicalQubit
+from repro.code.arrangements import Arrangement
+from repro.hardware.grid import GridManager
+from repro.hardware.model import HardwareModel, GATE_TIMES_US
+from repro.hardware.circuit import HardwareCircuit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TISCC",
+    "CompiledOperation",
+    "TileGrid",
+    "LogicalQubit",
+    "Arrangement",
+    "GridManager",
+    "HardwareModel",
+    "HardwareCircuit",
+    "GATE_TIMES_US",
+    "__version__",
+]

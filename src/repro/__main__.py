@@ -1,0 +1,114 @@
+"""Command-line interface (paper App. B: "TISCC can either be compiled into
+an executable and given command line input (code distances, operation of
+interest) or used as a library").
+
+Examples::
+
+    tiscc compile --op MeasureZZ --dx 3 --dz 3 --rounds 1 --resources
+    tiscc compile --op Idle --dx 5 --dz 5 --print-circuit
+    tiscc render --dx 3 --dz 3
+    tiscc sweep --op Idle --distances 3 5 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.code.arrangements import Arrangement
+from repro.estimator.report import format_resource_table
+from repro.estimator.sweep import OPERATION_PROGRAMS, sweep_operation
+
+__all__ = ["main"]
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.core.compiler import TISCC
+
+    try:
+        build, shape = OPERATION_PROGRAMS[args.op]
+    except KeyError:
+        print(f"unknown operation {args.op!r}; choose from {sorted(OPERATION_PROGRAMS)}")
+        return 2
+    compiler = TISCC(
+        dx=args.dx, dz=args.dz, tile_rows=shape[0], tile_cols=shape[1], rounds=args.rounds
+    )
+    compiled = compiler.compile(build(), operation=args.op)
+    print(
+        f"# compiled {args.op} (dx={args.dx}, dz={args.dz}): "
+        f"{len(compiled.circuit)} native instructions, "
+        f"makespan {compiled.circuit.makespan / 1000:.3f} ms, "
+        f"{compiled.logical_timesteps} logical time-step(s), "
+        f"junction conflicts resolved: {compiler.grid.junction_conflicts}"
+    )
+    if args.resources and compiled.resources:
+        print(format_resource_table([compiled.resources]))
+    if args.print_circuit:
+        print(compiled.to_text())
+    if args.simulate:
+        result = compiler.simulate(compiled, seed=args.seed)
+        outcomes = {
+            r.name: r.value(result) for r in compiled.results if r.value is not None
+        }
+        print(f"# simulated (seed {args.seed}); logical outcomes: {outcomes}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.code.patch_layout import PatchLayout
+    from repro.hardware.grid import GridManager
+
+    arrangement = Arrangement[args.arrangement.upper()]
+    grid = GridManager(args.dz + 2, args.dx + 2)
+    layout = PatchLayout(grid, args.dx, args.dz, arrangement=arrangement)
+    print(
+        f"# {arrangement.name} arrangement, dx={args.dx}, dz={args.dz} "
+        "(D data, x/z measure-ion homes, M/O/J sites)"
+    )
+    print(layout.render_ascii())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    reports = sweep_operation(args.op, args.distances, rounds=args.rounds)
+    print(format_resource_table(reports, title=f"{args.op} resource sweep (§3.4)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tiscc",
+        description="TISCC reproduction: surface-code compiler and resource "
+        "estimator for trapped-ion processors",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile one surface-code operation")
+    p_compile.add_argument("--op", required=True)
+    p_compile.add_argument("--dx", type=int, default=3)
+    p_compile.add_argument("--dz", type=int, default=3)
+    p_compile.add_argument("--rounds", type=int, default=None)
+    p_compile.add_argument("--resources", action="store_true")
+    p_compile.add_argument("--print-circuit", action="store_true")
+    p_compile.add_argument("--simulate", action="store_true")
+    p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_render = sub.add_parser("render", help="render a patch layout (Fig 1/Fig 2)")
+    p_render.add_argument("--dx", type=int, default=3)
+    p_render.add_argument("--dz", type=int, default=3)
+    p_render.add_argument("--arrangement", default="standard")
+    p_render.set_defaults(fn=_cmd_render)
+
+    p_sweep = sub.add_parser("sweep", help="resource sweep over code distances")
+    p_sweep.add_argument("--op", required=True)
+    p_sweep.add_argument("--distances", type=int, nargs="+", default=[3, 5])
+    p_sweep.add_argument("--rounds", type=int, default=None)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Surface-code patch layer: plaquettes, logical qubits, patch operations.
+
+Implements the paper's §2: the logical tile / patch abstraction
+(:class:`~repro.code.logical_qubit.LogicalQubit`), the four canonical
+stabilizer arrangements (Fig 2), primitive patch operations (Table 2),
+explicit Z/N-pattern syndrome-extraction circuits (§3.3, Fig 6), corner
+movement (§2.5, Fig 3) and movement-only patch translation (Fig 4).
+"""
+
+from repro.code.pauli import PauliString
+from repro.code.plaquette import Plaquette
+from repro.code.patch_layout import PatchLayout, Arrangement
+from repro.code.logical_qubit import LogicalQubit
+
+__all__ = ["PauliString", "Plaquette", "PatchLayout", "Arrangement", "LogicalQubit"]

@@ -1,0 +1,99 @@
+"""The four canonical stabilizer arrangements (paper Fig 2).
+
+Every arrangement is parameterized by two bits:
+
+* ``letter_swap`` — X and Z roles exchanged at every face (what a transversal
+  Hadamard does in place, §2.4);
+* ``boundary_offset`` — the weight-2 boundary faces shifted one notch along
+  each edge (what Flip Patch's four clockwise corner movements do, §2.5; the
+  interior checkerboard is untouched, since corner movement "cannot add
+  stabilizers other than boundary stabilizers").
+
+Consistency checks reproduced from the paper:
+
+* Standard --transversal H--> Rotated (swap toggles, Fig 2a->2b);
+* Standard --Flip Patch--> Flipped (offset toggles, Fig 3);
+* Flip Patch then transversal H --> Rotated-Flipped (§3.3);
+* Standard --Move Right + Swap Left--> Rotated-Flipped: the one-column
+  lattice-surgery shift re-anchors the checkerboard (swap toggles) *and*
+  shifts the boundary faces (offset toggles) (Fig 4).
+
+The letter of the logical operator that runs vertically follows from the
+boundary types: Z for Standard/Rotated-Flipped, X for Rotated/Flipped.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Arrangement"]
+
+
+class Arrangement(Enum):
+    """Canonical (boundary_offset, letter_swap) combinations of Fig 2."""
+
+    STANDARD = (0, 0)
+    ROTATED = (0, 1)
+    FLIPPED = (1, 0)
+    ROTATED_FLIPPED = (1, 1)
+
+    @property
+    def boundary_offset(self) -> int:
+        return self.value[0]
+
+    @property
+    def letter_swap(self) -> int:
+        return self.value[1]
+
+    @classmethod
+    def from_bits(cls, boundary_offset: int, letter_swap: int) -> "Arrangement":
+        return cls((boundary_offset % 2, letter_swap % 2))
+
+    # ------------------------------------------------------- transformations
+    def after_transversal_hadamard(self) -> "Arrangement":
+        """Transversal H swaps every face's letter in place (§2.4, fn 4)."""
+        return Arrangement.from_bits(self.boundary_offset, self.letter_swap ^ 1)
+
+    def after_flip_patch(self) -> "Arrangement":
+        """Flip Patch shifts the boundary faces one notch (§2.5, Fig 3)."""
+        return Arrangement.from_bits(self.boundary_offset ^ 1, self.letter_swap)
+
+    def after_column_shift(self) -> "Arrangement":
+        """Move Right + Swap Left toggles both bits (Fig 4)."""
+        return Arrangement.from_bits(self.boundary_offset ^ 1, self.letter_swap ^ 1)
+
+    # ------------------------------------------------------------ structure
+    def face_letter(self, fi: int, fj: int) -> str:
+        """Checkerboard letter of face (fi, fj); independent of the offset."""
+        base_is_z = (fi + fj) % 2 == 0
+        if self.letter_swap:
+            base_is_z = not base_is_z
+        return "Z" if base_is_z else "X"
+
+    @property
+    def vertical_letter(self) -> str:
+        """Letter of the logical operator running vertically (column-wise)."""
+        if self.boundary_offset == 0:
+            return "X" if self.letter_swap else "Z"
+        return "Z" if self.letter_swap else "X"
+
+    @property
+    def horizontal_letter(self) -> str:
+        return "X" if self.vertical_letter == "Z" else "Z"
+
+    def boundary_letter(self, edge: str) -> str:
+        """Letter a weight-2 face on ``edge`` must carry.
+
+        A boundary face's letter is forced by the interior checkerboard (it
+        overlaps two interior faces in one qubit each), and an edge hosts
+        exactly the candidate faces whose forced letter matches the logical
+        operator terminating there: the vertical logical on top/bottom, the
+        horizontal one on left/right.  This letter-matching rule subsumes
+        the per-edge alternation offsets for all distance parities
+        (including the d=2 codes of §4.3).
+        """
+        if edge in ("top", "bottom"):
+            return self.vertical_letter
+        if edge in ("left", "right"):
+            return self.horizontal_letter
+        raise ValueError(edge)

@@ -1,0 +1,361 @@
+"""Corner movement: boundary-stabilizer deformation (paper §2.5, Fig 3).
+
+"Methods are implemented within TISCC to deform patches by adding and
+removing boundary stabilizers ... a given boundary stabilizer is added by
+finding (and removing or replacing) the existing stabilizers and logical
+operators that anti-commute with it.  Any logical operator with support on
+the added stabilizer is also updated in favor of its lower-weight
+counterpart. ... Where necessary, TISCC also handles the measurement and/or
+preparation of corner qubits as needed to maintain a valid single-qubit
+patch."
+
+The engine implements exactly that gauge-fixing algebra:
+
+* :func:`add_boundary_stabilizer` measures one new weight-2 boundary face:
+  the unique (possibly combined) anticommuting generator is removed,
+  anticommuting logical representatives are repaired with it, and logicals
+  are reduced in favour of lower weight — every sign correction lands on
+  the operators' ledgers (§4.5 post-processing);
+* :func:`extend_logical_operator_clockwise` measures the sequence of
+  boundary faces that re-gauges one edge, moving that corner one notch;
+* :func:`flip_patch` performs the four clockwise corner movements of Fig 3
+  (standard -> flipped, rotated -> rotated-flipped), preserving the state.
+
+Deformations that would require measuring a logical operator — the paper's
+caution that "not all valid patch deformations can be implemented
+fault-tolerantly" — first attempt the corner-qubit measure-out/re-prepare
+escape hatch and otherwise raise :class:`DeformationError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.code.arrangements import Arrangement
+from repro.code.logical_qubit import LogicalQubit, TrackedOperator, _symplectic
+from repro.code.pauli import PauliString
+from repro.code.patch_ops import _evacuate_stale_ions, _staff_measure_ions
+from repro.code.plaquette import Plaquette
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.relocation import RelocationError, relocate_ion
+from repro.util.gf2 import gf2_in_rowspace
+
+__all__ = [
+    "DeformationError",
+    "DeformationSession",
+    "add_boundary_stabilizer",
+    "extend_logical_operator_clockwise",
+    "flip_patch",
+]
+
+
+class DeformationError(RuntimeError):
+    """The requested deformation cannot preserve the encoded logical qubit."""
+
+
+def _key(p: PauliString) -> frozenset:
+    return frozenset(p.ops.items())
+
+
+class DeformationSession:
+    """Signed-stabilizer bookkeeping across one deformation.
+
+    Every generator carries the measurement labels whose sign-product gives
+    its current value; products of generators concatenate label lists.
+    Seeded from the patch's most recent round of error correction.  Measure
+    ions freed by removed faces go into ``free_ions`` for reuse.
+    """
+
+    def __init__(self, lq: LogicalQubit):
+        self.lq = lq
+        self.labels: dict[frozenset, list[str]] = {}
+        self.free_ions: list[int] = []
+        if lq.round_records:
+            last = lq.round_records[-1].outcome_labels
+            for plaq in lq.plaquettes:
+                if plaq.face in last:
+                    self.labels[_key(plaq.stabilizer())] = [last[plaq.face]]
+
+    def labels_for(self, stab: PauliString) -> list[str]:
+        return list(self.labels.get(_key(stab), []))
+
+    def record(self, stab: PauliString, labels: list[str]) -> None:
+        self.labels[_key(stab)] = list(labels)
+
+    def release_face_ion(self, removed: PauliString) -> None:
+        """If the removed generator was a canonical face, free its ion."""
+        for plaq in self.lq.plaquettes:
+            if _key(plaq.stabilizer()) == _key(removed):
+                ion = self.lq.measure_ions.pop(plaq.face, None)
+                if ion is not None:
+                    self.free_ions.append(ion)
+                return
+
+
+def _measure_new_face(
+    session: DeformationSession,
+    circuit: HardwareCircuit,
+    plaq: Plaquette,
+) -> str:
+    """Schedule one syndrome measurement of a single new boundary face."""
+    lq = session.lq
+    grid = lq.grid
+    ion = grid.ion_at(plaq.home)
+    if ion is not None and ion in set(lq.measure_ions.values()):
+        pass  # an active face already parks here — cannot happen for new faces
+    if ion is None:
+        while session.free_ions:
+            k = session.free_ions.pop(0)
+            try:
+                path = grid.route(grid.site_of(k), plaq.home)
+            except ValueError:
+                session.free_ions.append(k)
+                break
+            grid.schedule_route(circuit, k, path, t_min=grid.now)
+            ion = k
+            break
+        if ion is None:
+            ion = grid.load_ion(circuit, plaq.home, f"{lq.name}:m{plaq.face}")
+    record = lq.scheduler.schedule_round(
+        circuit, [plaq], {plaq.face: ion}, lq.data_ion_at(), t_min=grid.now
+    )
+    lq.measure_ions[plaq.face] = ion
+    return record.outcome_labels[plaq.face]
+
+
+def add_boundary_stabilizer(
+    session: DeformationSession,
+    circuit: HardwareCircuit,
+    fi: int,
+    fj: int,
+    letter: str | None = None,
+) -> PauliString:
+    """Measure a new weight-2 boundary stabilizer at face slot (fi, fj)."""
+    lq = session.lq
+    layout = lq.layout
+    letter = layout.face_letter(fi, fj) if letter is None else letter
+    plaq = layout.build_boundary_plaquette(fi, fj, letter)
+    new_stab = plaq.stabilizer()
+    if any(_key(s) == _key(new_stab) for s in lq.stabilizers):
+        return new_stab  # already a generator
+
+    anti = [s for s in lq.stabilizers if not s.commutes_with(new_stab)]
+    if not anti:
+        if _implied_by_group(lq, new_stab):
+            # Dependent on the current generators: measuring it is harmless
+            # (deterministic outcome); record the label, keep the rank.
+            label = _measure_new_face(session, circuit, plaq)
+            session.record(new_stab, [label])
+            return new_stab
+        anti = _corner_qubit_escape(session, circuit, plaq, new_stab, letter)
+
+    removed = anti[0]
+    removed_labels = session.labels_for(removed)
+    session.release_face_ion(removed)
+    keep = [s for s in lq.stabilizers if s.commutes_with(new_stab)]
+    for other_stab in anti[1:]:
+        combined = PauliString((other_stab * removed).ops)
+        keep.append(combined)
+        session.record(combined, session.labels_for(other_stab) + removed_labels)
+    lq.stabilizers = keep
+
+    for attr in ("logical_x", "logical_z"):
+        op: TrackedOperator = getattr(lq, attr)
+        if not op.pauli.commutes_with(new_stab):
+            repaired = TrackedOperator(
+                PauliString((op.pauli * removed).ops),
+                op.corrections + removed_labels,
+            )
+            lq.deformation_log.append((f"repair {attr}", op.pauli, repaired.pauli))
+            setattr(lq, attr, repaired)
+
+    label = _measure_new_face(session, circuit, plaq)
+    lq.stabilizers.append(new_stab)
+    session.record(new_stab, [label])
+
+    for attr in ("logical_x", "logical_z"):
+        op = getattr(lq, attr)
+        if op.pauli.support & new_stab.support:
+            reduced_pauli = PauliString((op.pauli * new_stab).ops)
+            if len(reduced_pauli.ops) < len(op.pauli.ops):
+                reduced = TrackedOperator(reduced_pauli, op.corrections + [label])
+                lq.deformation_log.append((f"reduce {attr}", op.pauli, reduced.pauli))
+                setattr(lq, attr, reduced)
+    return new_stab
+
+
+def _implied_by_group(lq: LogicalQubit, stab: PauliString) -> bool:
+    sites = lq.data_sites_present()
+    mat = _symplectic(lq.stabilizers, sites)
+    row = _symplectic([stab], sites)[0]
+    return gf2_in_rowspace(mat, row)
+
+
+def _corner_qubit_escape(
+    session: DeformationSession,
+    circuit: HardwareCircuit,
+    plaq: Plaquette,
+    new_stab: PauliString,
+    letter: str,
+) -> list[PauliString]:
+    """Measure-out/re-prepare a corner qubit so the new face can attach.
+
+    When no generator anticommutes with the new face, the face equals a
+    logical representative modulo stabilizers; measuring it would collapse
+    the encoded qubit.  Removing a corner data qubit (measured in the
+    complementary basis) and re-preparing it in the face's basis re-attaches
+    the face to the bulk (§2.5 corner-qubit handling).
+    """
+    lq = session.lq
+    conflicted = [
+        name
+        for name, op in (("X", lq.logical_x), ("Z", lq.logical_z))
+        if not op.pauli.commutes_with(new_stab)
+    ]
+    if not conflicted:
+        raise DeformationError(
+            f"face {plaq.face} is already implied by the stabilizer group; "
+            "measuring it is redundant"
+        )
+    other = "Z" if letter == "X" else "X"
+    for _corner_label, ij in sorted(plaq.corners.items()):
+        try:
+            lq.measure_out_data_qubit(circuit, ij, other)
+        except RuntimeError:
+            continue  # this corner's removal would hit a logical; try the other
+        site = lq.layout.data_site(*ij)
+        ion = lq.grid.ion_at(site)
+        lq.data_ions[ij] = ion
+        prep = lq.model.prepare_x if letter == "X" else lq.model.prepare_z
+        prep(circuit, ion)
+        single = PauliString({site: letter})
+        lq.stabilizers.append(single)
+        session.record(single, [])
+        anti = [s for s in lq.stabilizers if not s.commutes_with(new_stab)]
+        if anti:
+            return anti
+    raise DeformationError(
+        f"adding face {plaq.face} would measure logical {'/'.join(conflicted)}; "
+        "this deformation cannot preserve the encoded state (§2.5)"
+    )
+
+
+def extend_logical_operator_clockwise(
+    session: DeformationSession,
+    circuit: HardwareCircuit,
+    edge: str,
+) -> list[PauliString]:
+    """Move the corner at the clockwise start of ``edge`` by one notch.
+
+    Measures, in order, the boundary faces the offset-toggled arrangement
+    hosts on that edge — "the sequence of boundary stabilizers that need to
+    be measured in order to accomplish the desired movement".
+    """
+    lq = session.lq
+    added = []
+    for fi, fj, letter in _edge_targets(lq, edge):
+        added.append(add_boundary_stabilizer(session, circuit, fi, fj, letter))
+    return added
+
+
+def _edge_targets(lq: LogicalQubit, edge: str) -> list[tuple[int, int, str]]:
+    target = lq.arrangement.after_flip_patch()
+    want = target.boundary_letter(edge)
+    out = []
+    if edge in ("top", "bottom"):
+        fi = -1 if edge == "top" else lq.dz - 1
+        for fj in range(0, lq.dx - 1):
+            if target.face_letter(fi, fj) == want:
+                out.append((fi, fj, want))
+    elif edge in ("left", "right"):
+        fj = -1 if edge == "left" else lq.dx - 1
+        for fi in range(0, lq.dz - 1):
+            if target.face_letter(fi, fj) == want:
+                out.append((fi, fj, want))
+    else:
+        raise ValueError(edge)
+    return out
+
+
+def flip_patch(lq: LogicalQubit, circuit: HardwareCircuit) -> DeformationSession:
+    """Flip Patch (Fig 3): four clockwise corner movements.
+
+    Standard -> flipped or rotated -> rotated-flipped ("the only
+    arrangements from which it was implemented", §4.3).  Face additions that
+    transiently conflict are deferred and retried, so the edges interleave
+    the way the four corner movements of Fig 3 do.
+    """
+    if lq.arrangement not in (Arrangement.STANDARD, Arrangement.ROTATED):
+        raise ValueError("Flip Patch starts from the standard or rotated arrangement")
+    if not lq.initialized:
+        raise ValueError("cannot flip an uninitialized patch")
+    session = DeformationSession(lq)
+
+    pending = [
+        t for edge in ("top", "right", "bottom", "left") for t in _edge_targets(lq, edge)
+    ]
+    while pending:
+        progressed = False
+        failures = []
+        for fi, fj, letter in pending:
+            try:
+                add_boundary_stabilizer(session, circuit, fi, fj, letter)
+                progressed = True
+            except DeformationError as exc:
+                failures.append(((fi, fj, letter), exc))
+            except KeyError as exc:  # corner re-prep left a face unschedulable
+                failures.append(
+                    ((fi, fj, letter), DeformationError(f"face infrastructure lost: {exc}"))
+                )
+        pending = [t for t, _ in failures]
+        if pending and not progressed:
+            raise DeformationError(
+                f"flip patch stuck; remaining faces {[t[:2] for t in pending]}: "
+                f"{failures[0][1]}"
+            )
+
+    _finalize_arrangement(lq, circuit, lq.arrangement.after_flip_patch(), session)
+    return session
+
+
+def _finalize_arrangement(
+    lq: LogicalQubit,
+    circuit: HardwareCircuit,
+    target: Arrangement,
+    session: DeformationSession,
+) -> None:
+    """Re-label the patch to ``target`` and re-staff measure ions.
+
+    Verifies that every canonical face of the target arrangement lies in
+    the GF(2) span of the deformed generator set, so subsequent rounds of
+    error correction measure operators with definite values.
+    """
+    from repro.code.patch_layout import PatchLayout
+
+    sites = lq.data_sites_present()
+    mat = _symplectic(lq.stabilizers, sites)
+    layout = PatchLayout(lq.grid, lq.dx, lq.dz, lq.layout.origin, target)
+    for fi, fj in layout.face_coords():
+        stab = layout.build_plaquette(fi, fj).stabilizer()
+        row = _symplectic([stab], sites)[0]
+        if not gf2_in_rowspace(mat, row):
+            # Not yet established (corner qubits were re-prepared along the
+            # way).  Measuring it in the next round is benign exactly when it
+            # cannot disturb the tracked logical representatives.
+            if not (
+                stab.commutes_with(lq.logical_x.pauli)
+                and stab.commutes_with(lq.logical_z.pauli)
+            ):
+                raise DeformationError(
+                    f"target face ({fi},{fj}) would disturb a logical operator"
+                )
+
+    lq.layout = layout
+    lq.plaquettes = layout.plaquettes()
+    lq.stabilizers = [p.stabilizer() for p in lq.plaquettes]
+    retired = list(dict.fromkeys(list(lq.measure_ions.values()) + session.free_ions))
+    lq.measure_ions = {}
+    _staff_measure_ions(circuit, lq, retired)
+    _evacuate_stale_ions(circuit, lq, retired)
+
+

@@ -1,0 +1,529 @@
+"""Merge, Split, Patch Extension, Patch Contraction (Tables 2 and 3).
+
+Lattice-surgery geometry (§2.3): patches sit on adjacent logical tiles with
+an ancillary strip between them — one column/row of seam data qubits for odd
+code distances, two for even (so the face checkerboards of the two patches
+stay aligned across the seam).  Using the strip,
+
+* a *merge* preps the seam qubits (|+> for a horizontal/ZZ seam, |0> for a
+  vertical/XX seam), then measures the merged patch's stabilizers for a
+  logical time-step.  The joint-operator outcome is the product of the
+  first-round outcomes of the merged-patch Z faces (horizontal) / X faces
+  (vertical) between the two default-edge representatives — "operator
+  movement" in the sense of §4.5;
+* a *split* transversally measures the seam qubits in the merge basis; the
+  post-split boundary-stabilizer values are *inferred* from the pre-split
+  weight-4 outcomes and the seam measurements, which is exactly why the
+  ancillary strip makes Measure XX/ZZ a one-time-step instruction
+  (paper footnote 7);
+* *extension* is a merge whose far side is freshly prepared instead of an
+  existing patch (preserving the encoded state, 1 step), and *contraction*
+  transversally measures the far side away (0 steps), pushing the measured
+  row/column outcomes onto the surviving logical operator's ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.code.arrangements import Arrangement
+from repro.code.logical_qubit import LogicalQubit, TrackedOperator
+from repro.code.pauli import PauliString
+from repro.code.stabilizer_circuits import RoundRecord
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.relocation import RelocationError, relocate_ion
+
+__all__ = [
+    "MergeResult",
+    "SplitResult",
+    "merge",
+    "split",
+    "extend_patch",
+    "contract_patch",
+]
+
+
+@dataclass
+class MergeResult:
+    """Outcome bookkeeping of a merge (or extension)."""
+
+    merged: LogicalQubit
+    orientation: str
+    #: (dxA or dzA, seam width, dxB or dzB) along the merge axis.
+    sizes: tuple[int, int, int]
+    #: Merged-coordinate (i, j) of the seam data qubits.
+    seam_positions: list[tuple[int, int]] = field(default_factory=list)
+    #: Labels whose sign-product is the raw joint XX/ZZ outcome.
+    joint_labels: list[str] = field(default_factory=list)
+    #: Ledger corrections inherited from the two input patches.
+    inherited_corrections: list[str] = field(default_factory=list)
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def outcome_sign(self, result) -> int:
+        """The measured joint-operator eigenvalue for a simulation result."""
+        sign = 1
+        for label in self.joint_labels + self.inherited_corrections:
+            sign *= result.sign(label)
+        return sign
+
+
+@dataclass
+class SplitResult:
+    """Outcome bookkeeping of a split (or contraction)."""
+
+    left: LogicalQubit
+    right: LogicalQubit
+    #: Seam measurement labels, keyed by merged-coordinate position.
+    seam_labels: dict[tuple[int, int], str] = field(default_factory=dict)
+    #: Sign-product of these labels relates X_A X_B (or Z_A Z_B) to the
+    #: pre-split joint logical (§4.5 Pauli-frame correction).
+    frame_labels: list[str] = field(default_factory=list)
+
+
+def _require_mergeable(lq_a: LogicalQubit, lq_b: LogicalQubit, orientation: str) -> int:
+    if lq_a.arrangement is not Arrangement.STANDARD or lq_b.arrangement is not Arrangement.STANDARD:
+        raise ValueError("merge is implemented for the standard arrangement (§4.4)")
+    if orientation == "horizontal":
+        if lq_a.dz != lq_b.dz:
+            raise ValueError("horizontally merged patches need equal dz")
+        seam = lq_a.layout.tile_cols - lq_a.dx
+        expect = (lq_a.layout.origin[0], lq_a.layout.origin[1] + lq_a.layout.tile_cols)
+        if lq_b.layout.origin != expect:
+            raise ValueError(f"patch B must sit on the adjacent tile at {expect}")
+    elif orientation == "vertical":
+        if lq_a.dx != lq_b.dx:
+            raise ValueError("vertically merged patches need equal dx")
+        seam = lq_a.layout.tile_rows - lq_a.dz
+        expect = (lq_a.layout.origin[0] + lq_a.layout.tile_rows, lq_a.layout.origin[1])
+        if lq_b.layout.origin != expect:
+            raise ValueError(f"patch B must sit on the adjacent tile at {expect}")
+    else:
+        raise ValueError("orientation must be 'horizontal' or 'vertical'")
+    return seam
+
+
+def _staff_measure_ions(
+    circuit: HardwareCircuit,
+    lq: LogicalQubit,
+    retired: list[int],
+) -> None:
+    """Fill ``lq.measure_ions`` for every plaquette home.
+
+    Preference order: an ion already parked at the home; a retired measure
+    ion from a superseded face set, relocated by scheduled moves (stale
+    parked ions would otherwise block corridors and pockets); a freshly
+    loaded ion as a last resort.
+    """
+    grid = lq.grid
+    homes = [p.home for p in lq.plaquettes]
+    home_set = set(homes)
+    pool = [
+        ion
+        for ion in dict.fromkeys(retired)
+        if ion in grid.ions() and grid.site_of(ion) not in home_set
+    ]
+    unfilled = []
+    for plaq in lq.plaquettes:
+        ion = grid.ion_at(plaq.home)
+        if ion is not None:
+            lq.measure_ions[plaq.face] = ion
+        else:
+            unfilled.append(plaq)
+    for plaq in unfilled:
+        target = plaq.home
+        tr, tc = grid.coords(target)
+        best = None
+        for ion in sorted(pool, key=lambda k: _manhattan(grid, k, tr, tc)):
+            try:
+                path = grid.route(grid.site_of(ion), target)
+                grid.schedule_route(circuit, ion, path, t_min=grid.now)
+            except ValueError:
+                try:
+                    relocate_ion(grid, circuit, ion, target)
+                except RelocationError:
+                    continue
+            best = ion
+            break
+        if best is not None:
+            pool.remove(best)
+            lq.measure_ions[plaq.face] = best
+        else:
+            lq.measure_ions[plaq.face] = grid.load_ion(
+                circuit, target, f"{lq.name}:m{plaq.face}"
+            )
+
+
+def _manhattan(grid, ion: int, tr: int, tc: int) -> int:
+    r, c = grid.coords(grid.site_of(ion))
+    return abs(r - tr) + abs(c - tc)
+
+
+def _evacuate_stale_ions(
+    circuit: HardwareCircuit, lq: "LogicalQubit | list[LogicalQubit]", candidates: list[int]
+) -> None:
+    """Park leftover ions away from the patches' working areas.
+
+    Any retired ion still sitting on a pocket, corridor, or home of an
+    active face set would deadlock subsequent rounds of error correction,
+    so it is relocated (with step-aside maneuvers) to the nearest free zone
+    outside every listed patch's working area — typically an unused
+    boundary corridor or the ancilla strip.
+    """
+    lqs = lq if isinstance(lq, list) else [lq]
+    grid = lqs[0].grid
+    used: set[int] = set()
+    keep: set[int] = set()
+    for one in lqs:
+        used |= set(one.data_ion_at())
+        for plaq in one.plaquettes:
+            used |= plaq.all_sites()
+            used.add(plaq.home)
+        keep |= set(one.measure_ions.values()) | set(one.data_ions.values())
+    free_zones = [s for s in grid.zone_sites() if s not in used]
+    for ion in candidates:
+        if ion in keep or ion not in grid.ions():
+            continue
+        site = grid.site_of(ion)
+        if site not in used:
+            continue
+        r, c = grid.coords(site)
+        for target in sorted(
+            free_zones,
+            key=lambda s: abs(grid.coords(s)[0] - r) + abs(grid.coords(s)[1] - c),
+        ):
+            if grid.ion_at(target) is not None:
+                continue
+            try:
+                relocate_ion(grid, circuit, ion, target)
+                break
+            except RelocationError:
+                continue
+        else:
+            raise RuntimeError(
+                f"stale ion {ion} at site {site} cannot be evacuated"
+            )
+    # Evacuations may have displaced active measure ions whose return path
+    # was momentarily sealed; walk them back to their homes.
+    for one in lqs:
+        home_of = {one.measure_ions[p.face]: p.home for p in one.plaquettes}
+        for ion, home in home_of.items():
+            if grid.site_of(ion) != home:
+                relocate_ion(grid, circuit, ion, home)
+
+
+def _build_merged(
+    circuit: HardwareCircuit,
+    lq_a: LogicalQubit,
+    orientation: str,
+    seam: int,
+    far_extent: int,
+    retired: list[int],
+) -> tuple[LogicalQubit, list[tuple[int, int]]]:
+    """Construct the merged LogicalQubit skeleton and staff its ions."""
+    grid, model = lq_a.grid, lq_a.model
+    if orientation == "horizontal":
+        dx_m, dz_m = lq_a.dx + seam + far_extent, lq_a.dz
+    else:
+        dx_m, dz_m = lq_a.dx, lq_a.dz + seam + far_extent
+    merged = LogicalQubit(
+        grid,
+        model,
+        dx_m,
+        dz_m,
+        lq_a.layout.origin,
+        Arrangement.STANDARD,
+        name=f"{lq_a.name}+",
+        place_ions=False,
+    )
+    seam_positions = []
+    near = lq_a.dx if orientation == "horizontal" else lq_a.dz
+    for (i, j), site in sorted(merged.layout.data_sites().items()):
+        along = j if orientation == "horizontal" else i
+        if near <= along < near + seam:
+            seam_positions.append((i, j))
+        merged.data_ions[(i, j)] = grid.ensure_ion(circuit, site, f"{merged.name}:d{i},{j}")
+    _staff_measure_ions(circuit, merged, retired)
+    return merged, seam_positions
+
+
+def _joint_operator_faces(
+    merged: LogicalQubit, orientation: str, near: int, seam: int
+) -> list[tuple[int, int]]:
+    """Faces whose product telescopes one default edge onto the other.
+
+    For a horizontal merge, Z_col0 * Z_col(near+seam) equals the product of
+    all merged-patch Z faces with face column in [0, near+seam); similarly
+    with rows and X faces for vertical merges.  Verified operator identity,
+    see tests.
+    """
+    letter = "Z" if orientation == "horizontal" else "X"
+    out = []
+    for plaq in merged.plaquettes:
+        fi, fj = plaq.face
+        along = fj if orientation == "horizontal" else fi
+        if plaq.pauli == letter and 0 <= along < near + seam:
+            out.append(plaq.face)
+    return out
+
+
+def merge(
+    circuit: HardwareCircuit,
+    lq_a: LogicalQubit,
+    lq_b: LogicalQubit,
+    orientation: str,
+    rounds: int | None = None,
+) -> MergeResult:
+    """Merge two initialized patches (Table 2; 1 logical time-step).
+
+    Horizontal merges measure Z_A Z_B, vertical merges X_A X_B (§2.3: with
+    logical Z vertical, "vertical (horizontal) merges ... correspond with
+    XX (ZZ) measurements").
+    """
+    if not (lq_a.initialized and lq_b.initialized):
+        raise ValueError("merge requires two initialized patches")
+    seam = _require_mergeable(lq_a, lq_b, orientation)
+    near = lq_a.dx if orientation == "horizontal" else lq_a.dz
+    far = lq_b.dx if orientation == "horizontal" else lq_b.dz
+
+    retired = list(lq_a.measure_ions.values()) + list(lq_b.measure_ions.values())
+    merged, seam_positions = _build_merged(circuit, lq_a, orientation, seam, far, retired)
+    # Any parked ion left over from earlier surgery inside the merged
+    # footprint would deadlock the merged rounds.
+    _evacuate_stale_ions(circuit, merged, list(merged.grid.ions()))
+    # Seam qubits: |+> so the joint X row stays definite across a ZZ seam,
+    # |0> so the joint Z column stays definite across an XX seam.
+    prep = merged.model.prepare_x if orientation == "horizontal" else merged.model.prepare_z
+    for pos in seam_positions:
+        prep(circuit, merged.data_ions[pos])
+    merged.initialized = True
+
+    rounds = merged.dt if rounds is None else rounds
+    records = merged.idle(circuit, rounds=rounds)
+
+    faces = _joint_operator_faces(merged, orientation, near, seam)
+    first = records[0].outcome_labels
+    joint_labels = [first[f] for f in faces]
+    inherited = list(lq_a.logical_z.corrections + lq_b.logical_z.corrections
+                     if orientation == "horizontal"
+                     else lq_a.logical_x.corrections + lq_b.logical_x.corrections)
+
+    # The merged patch inherits A's representatives: the default-edge column
+    # (or row) of the merged layout coincides with A's.
+    merged.logical_z = TrackedOperator(
+        merged.layout.logical_z(), list(lq_a.logical_z.corrections)
+    )
+    merged.logical_x = TrackedOperator(
+        merged.layout.logical_x(), list(lq_a.logical_x.corrections)
+    )
+    lq_a.initialized = False
+    lq_b.initialized = False
+    return MergeResult(
+        merged=merged,
+        orientation=orientation,
+        sizes=(near, seam, far),
+        seam_positions=seam_positions,
+        joint_labels=joint_labels,
+        inherited_corrections=inherited,
+        records=records,
+    )
+
+
+def split(circuit: HardwareCircuit, mr: MergeResult) -> SplitResult:
+    """Split a merged patch back into its two halves (Table 2; 0 steps).
+
+    Measures the seam data qubits transversally in the merge basis.  The
+    post-split boundary stabilizers are known from pre-split outcomes plus
+    the seam measurements (fn 7), so no further rounds are needed.
+    """
+    merged = mr.merged
+    near, seam, far = mr.sizes
+    basis = "X" if mr.orientation == "horizontal" else "Z"
+    measure = merged.model.measure_x if basis == "X" else merged.model.measure_z
+
+    seam_labels = {}
+    for pos in mr.seam_positions:
+        _, label = measure(circuit, merged.data_ions[pos])
+        seam_labels[pos] = label
+
+    grid, model = merged.grid, merged.model
+    origin = merged.layout.origin
+    if mr.orientation == "horizontal":
+        origin_b = (origin[0], origin[1] + near + seam)
+        dims_a, dims_b = (near, merged.dz), (far, merged.dz)
+    else:
+        origin_b = (origin[0] + near + seam, origin[1])
+        dims_a, dims_b = (merged.dx, near), (merged.dx, far)
+
+    retired = list(merged.measure_ions.values())
+
+    def rebuild(name, org, dims, col_off, row_off):
+        lq = LogicalQubit(
+            grid, model, dims[0], dims[1], org, Arrangement.STANDARD,
+            name=name, place_ions=False,
+        )
+        for (i, j) in lq.layout.data_sites():
+            lq.data_ions[(i, j)] = merged.data_ions[(i + row_off, j + col_off)]
+        _staff_measure_ions(circuit, lq, retired)
+        lq.initialized = True
+        return lq
+
+    if mr.orientation == "horizontal":
+        lq_a = rebuild("split_a", origin, dims_a, 0, 0)
+        lq_b = rebuild("split_b", origin_b, dims_b, near + seam, 0)
+        # X_A X_B = X_merged * (seam row-0 X outcomes).
+        frame_positions = [(0, j) for (i, j) in mr.seam_positions if i == 0]
+    else:
+        lq_a = rebuild("split_a", origin, dims_a, 0, 0)
+        lq_b = rebuild("split_b", origin_b, dims_b, 0, near + seam)
+        frame_positions = [(i, 0) for (i, j) in mr.seam_positions if j == 0]
+
+    # Each half keeps the merged ledgers on the operator its edge inherits.
+    lq_a.logical_z = TrackedOperator(lq_a.layout.logical_z(), list(mr.merged.logical_z.corrections))
+    lq_a.logical_x = TrackedOperator(lq_a.layout.logical_x(), list(mr.merged.logical_x.corrections))
+    lq_b.logical_z = TrackedOperator(lq_b.layout.logical_z())
+    lq_b.logical_x = TrackedOperator(lq_b.layout.logical_x())
+
+    merged.initialized = False
+    _evacuate_stale_ions(circuit, [lq_a, lq_b], retired)
+    return SplitResult(
+        left=lq_a,
+        right=lq_b,
+        seam_labels=seam_labels,
+        frame_labels=[seam_labels[p] for p in frame_positions],
+    )
+
+
+def extend_patch(
+    circuit: HardwareCircuit,
+    lq: LogicalQubit,
+    orientation: str = "horizontal",
+    rounds: int | None = None,
+) -> MergeResult:
+    """Patch Extension (Table 3): 1 -> 2 tiles, preserving the state; 1 step.
+
+    The far tile's data qubits and the seam are prepared fresh in the basis
+    that leaves the extended logical operator's value unchanged (|+> for a
+    rightward extension of the X row, |0> for a downward extension of the Z
+    column).
+    """
+    if not lq.initialized:
+        raise ValueError("cannot extend an uninitialized patch")
+    if lq.arrangement is not Arrangement.STANDARD:
+        raise ValueError("extension is implemented for the standard arrangement")
+    if orientation == "horizontal":
+        seam = lq.layout.tile_cols - lq.dx
+        near, far = lq.dx, lq.dx
+    else:
+        seam = lq.layout.tile_rows - lq.dz
+        near, far = lq.dz, lq.dz
+
+    retired = list(lq.measure_ions.values())
+    merged, seam_positions = _build_merged(circuit, lq, orientation, seam, far, retired)
+    _evacuate_stale_ions(circuit, merged, list(merged.grid.ions()))
+    prep = merged.model.prepare_x if orientation == "horizontal" else merged.model.prepare_z
+    new_positions = list(seam_positions)
+    for (i, j) in merged.layout.data_sites():
+        along = j if orientation == "horizontal" else i
+        if along >= near + seam:
+            new_positions.append((i, j))
+    for pos in sorted(set(new_positions)):
+        prep(circuit, merged.data_ions[pos])
+    merged.initialized = True
+
+    rounds = merged.dt if rounds is None else rounds
+    records = merged.idle(circuit, rounds=rounds)
+
+    merged.logical_z = TrackedOperator(
+        merged.layout.logical_z(), list(lq.logical_z.corrections)
+    )
+    merged.logical_x = TrackedOperator(
+        merged.layout.logical_x(), list(lq.logical_x.corrections)
+    )
+    lq.initialized = False
+    faces = _joint_operator_faces(merged, orientation, near, seam)
+    first = records[0].outcome_labels
+    return MergeResult(
+        merged=merged,
+        orientation=orientation,
+        sizes=(near, seam, far),
+        seam_positions=seam_positions,
+        joint_labels=[first[f] for f in faces],
+        records=records,
+    )
+
+
+def contract_patch(
+    circuit: HardwareCircuit,
+    mr: MergeResult,
+    keep: str = "near",
+) -> tuple[LogicalQubit, SplitResult]:
+    """Patch Contraction (Table 3): 2 -> 1 tiles, preserving the state; 0 steps.
+
+    Transversally measures the discarded half plus the seam in the merge
+    basis; the surviving patch's extended logical operator picks up the
+    measured row/column outcome signs on its ledger.
+    """
+    merged = mr.merged
+    near, seam, far = mr.sizes
+    basis = "X" if mr.orientation == "horizontal" else "Z"
+    measure = merged.model.measure_x if basis == "X" else merged.model.measure_z
+    if keep not in ("near", "far"):
+        raise ValueError("keep must be 'near' or 'far'")
+
+    def discard(pos) -> bool:
+        i, j = pos
+        along = j if mr.orientation == "horizontal" else i
+        return along >= near if keep == "near" else along < near + seam
+
+    labels: dict[tuple[int, int], str] = {}
+    for pos in sorted(merged.layout.data_sites()):
+        if discard(pos):
+            _, label = measure(circuit, merged.data_ions[pos])
+            labels[pos] = label
+
+    grid, model = merged.grid, merged.model
+    origin = merged.layout.origin
+    if mr.orientation == "horizontal":
+        dims = (near, merged.dz) if keep == "near" else (far, merged.dz)
+        org = origin if keep == "near" else (origin[0], origin[1] + near + seam)
+        off = (0, 0) if keep == "near" else (0, near + seam)
+        frame = [labels[(0, j)] for (i, j) in labels if i == 0]
+    else:
+        dims = (merged.dx, near) if keep == "near" else (merged.dx, far)
+        org = origin if keep == "near" else (origin[0] + near + seam, origin[1])
+        off = (0, 0) if keep == "near" else (near + seam, 0)
+        frame = [labels[(i, 0)] for (i, j) in labels if j == 0]
+
+    lq = LogicalQubit(
+        grid, model, dims[0], dims[1], org, Arrangement.STANDARD,
+        name=f"{merged.name}~", place_ions=False,
+    )
+    for (i, j) in lq.layout.data_sites():
+        lq.data_ions[(i, j)] = merged.data_ions[(i + off[0], j + off[1])]
+    _staff_measure_ions(circuit, lq, list(merged.measure_ions.values()))
+    _evacuate_stale_ions(circuit, lq, list(merged.measure_ions.values()))
+    lq.initialized = True
+
+    # The operator running along the contraction axis loses the measured
+    # sites: its ledger grows by the measured default-edge outcomes.  When
+    # the far half survives, the cross-axis operator must additionally be
+    # *moved* from the near default edge to the far one, picking up the
+    # joint-face outcome signs (operator movement, §4.5).
+    moved = [] if keep == "near" else list(mr.joint_labels)
+    if mr.orientation == "horizontal":
+        lq.logical_z = TrackedOperator(
+            lq.layout.logical_z(), list(merged.logical_z.corrections) + moved
+        )
+        lq.logical_x = TrackedOperator(
+            lq.layout.logical_x(), list(merged.logical_x.corrections) + frame
+        )
+    else:
+        lq.logical_x = TrackedOperator(
+            lq.layout.logical_x(), list(merged.logical_x.corrections) + moved
+        )
+        lq.logical_z = TrackedOperator(
+            lq.layout.logical_z(), list(merged.logical_z.corrections) + frame
+        )
+    merged.initialized = False
+    sr = SplitResult(left=lq, right=lq, seam_labels=labels, frame_labels=frame)
+    return lq, sr

@@ -1,0 +1,232 @@
+"""Explicit X/Z stabilizer circuit scheduling (paper §3.3, Fig 6).
+
+Each plaquette is serviced by one mobile syndrome measure qubit that travels
+to a gate pocket adjacent to each of its data qubits, in the order given by
+the Z pattern (Z faces) or N pattern (X faces) — the two patterns prevent a
+single measure-qubit error from becoming two data errors parallel to the
+same-type logical operator (hook-error alignment, §3.3).
+
+A round is scheduled in four data-interaction layers, globally synchronized
+across plaquettes (each data qubit is touched by at most one face per
+layer — this is what the Z/N pairing guarantees).  Within a layer, faces are
+scheduled with a deferral worklist: a face whose next pocket is still
+parked-on by another face's measure ion is retried after that ion departs.
+Contention for shared junctions is resolved by the grid's junction calendar,
+which serializes the crossings and counts the conflicts (§3.3).
+
+Native interaction circuits (verified exactly in tests):
+
+* Z face:  prep |+>_m;  per data:  ZZ(m,d), Z_{-pi/4}(m), Z_{-pi/4}(d)
+  (= CZ up to phase);  finally measure X_m  — measures the Z-parity.
+* X face:  same with the data qubit conjugated by Hadamards, fused to
+  Z_{pi/2}(d), Y_{pi/4}(d), ZZ, Z_{-pi/4}(m), Z_{pi/4}(d), Y_{pi/4}(d)
+  — measures the X-parity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.code.plaquette import Plaquette
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager, SiteBlockedError
+from repro.hardware.model import HardwareModel
+
+__all__ = ["SyndromeScheduler", "RoundRecord"]
+
+
+@dataclass
+class RoundRecord:
+    """Bookkeeping for one round of error correction over a patch."""
+
+    outcome_labels: dict[tuple[int, int], str] = field(default_factory=dict)
+    t_start: float = 0.0
+    t_end: float = 0.0
+    junction_conflicts: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class SyndromeScheduler:
+    """Schedules rounds of syndrome extraction for sets of plaquettes."""
+
+    def __init__(self, grid: GridManager, model: HardwareModel):
+        self.grid = grid
+        self.model = model
+
+    # ----------------------------------------------------------- interaction
+    def _interaction(
+        self,
+        circuit: HardwareCircuit,
+        plaq: Plaquette,
+        m_ion: int,
+        d_ion: int,
+    ) -> None:
+        model = self.model
+        if plaq.pauli == "Z":
+            model.zz(circuit, m_ion, d_ion)
+            model.native1(circuit, "Z_-pi/4", m_ion)
+            model.native1(circuit, "Z_-pi/4", d_ion)
+        else:
+            model.native1(circuit, "Z_pi/2", d_ion)
+            model.native1(circuit, "Y_pi/4", d_ion)
+            model.zz(circuit, m_ion, d_ion)
+            model.native1(circuit, "Z_-pi/4", m_ion)
+            model.native1(circuit, "Z_pi/4", d_ion)
+            model.native1(circuit, "Y_pi/4", d_ion)
+
+    # ------------------------------------------------------------- worklist
+    def _sidestep(self, circuit: HardwareCircuit, jobs: deque, t_floor: float) -> bool:
+        """Break an occupancy cycle by parking one blocked ion off to the side.
+
+        Two measure ions can need to swap places across a junction (e.g. an
+        interior face's a->b transition against a top face leaving home).
+        The interior ion retreats one hop into a free site of its own face
+        graph — preferably its private corridor — freeing the contested
+        pocket.  Returns True when a sidestep was scheduled.
+        """
+        for ion, target, plaq, _after in jobs:
+            cur = self.grid.site_of(ion)
+            pockets = set(plaq.pockets.values())
+            candidates = sorted(plaq.graph) + []
+            # Prefer non-pocket (corridor/park) sites.
+            candidates.sort(key=lambda s: (s in pockets, s))
+            for s in candidates:
+                if s in (cur, target) or not self.grid.is_zone(s):
+                    continue
+                if self.grid.ion_at(s) is not None:
+                    continue
+                try:
+                    hop_path = plaq.path(cur, s)
+                except ValueError:
+                    continue
+                if len(hop_path) > 3:  # only one hop (possibly across a junction)
+                    continue
+                self.grid.schedule_route(circuit, ion, hop_path, t_min=t_floor)
+                return True
+        return False
+
+    def _drain(
+        self,
+        circuit: HardwareCircuit,
+        jobs: deque,
+        t_floor: float,
+    ) -> None:
+        """Run (ion, target_site, plaquette, after_arrival) jobs with deferral."""
+        stalls = 0
+        sidesteps = 0
+        while jobs:
+            ion, target, plaq, after = jobs.popleft()
+            cur = self.grid.site_of(ion)
+            try:
+                path = plaq.path(cur, target)
+                self.grid.schedule_route(circuit, ion, path, t_min=t_floor)
+            except SiteBlockedError:
+                jobs.append((ion, target, plaq, after))
+                stalls += 1
+                if stalls > len(jobs):
+                    if self._sidestep(circuit, jobs, t_floor):
+                        sidesteps += 1
+                        stalls = 0
+                        if sidesteps <= 4 * len(jobs) + 8:
+                            continue
+                    blockers = {j[1]: self.grid.ion_at(j[1]) for j in jobs}
+                    raise RuntimeError(
+                        f"syndrome schedule deadlock; blocked targets: {blockers}"
+                    ) from None
+                continue
+            stalls = 0
+            if after is not None:
+                after()
+
+    # ----------------------------------------------------------------- round
+    def schedule_round(
+        self,
+        circuit: HardwareCircuit,
+        plaquettes: list[Plaquette],
+        measure_ions: dict[tuple[int, int], int],
+        data_ion_at: dict[int, int],
+        t_min: float = 0.0,
+    ) -> RoundRecord:
+        """One round of error correction over ``plaquettes``.
+
+        ``measure_ions`` maps face coords to the measure ion (which must be
+        parked at the face's home site); ``data_ion_at`` maps data qsites to
+        data ions.  Returns the per-face measurement labels.
+        """
+        grid = self.grid
+        record = RoundRecord(t_start=t_min)
+        conflicts_before = grid.junction_conflicts
+
+        all_ions = [measure_ions[p.face] for p in plaquettes]
+        all_ions += [data_ion_at[s] for p in plaquettes for s in p.data_sites.values()]
+        all_ions = sorted(set(all_ions))
+
+        # Phase 0: prepare every measure ion in |+> at its parking site.
+        for plaq in plaquettes:
+            m = measure_ions[plaq.face]
+            if grid.site_of(m) != plaq.home:
+                raise ValueError(
+                    f"measure ion of face {plaq.face} is not parked at home "
+                    f"({grid.site_of(m)} != {plaq.home})"
+                )
+            self.model.prepare_x(circuit, m, t_min=t_min)
+
+        # Phases 1-4: pattern layers, globally synchronized.  A face that
+        # finishes its visits early returns home in the following layer so
+        # that its final pocket is free for later visitors (weight-2 faces
+        # share pockets with their interior neighbours).
+        last_layer = {p.face: max(l for l, _ in p.visits()) for p in plaquettes}
+        go_home: deque = deque()
+        t_floor = t_min
+        for layer in range(1, 5):
+            jobs: deque = deque(go_home)
+            go_home = deque()
+            for plaq in plaquettes:
+                for visit_layer, corner in plaq.visits():
+                    if visit_layer != layer:
+                        continue
+                    m = measure_ions[plaq.face]
+                    d = data_ion_at[plaq.data_sites[corner]]
+
+                    def hook(plaq=plaq, m=m, d=d) -> None:
+                        self._interaction(circuit, plaq, m, d)
+
+                    jobs.append((m, plaq.pockets[corner], plaq, hook))
+            self._drain(circuit, jobs, t_floor)
+            for plaq in plaquettes:
+                if last_layer[plaq.face] == layer:
+                    go_home.append((measure_ions[plaq.face], plaq.home, plaq, None))
+            t_floor = max(grid.ion_ready(ion) for ion in all_ions)
+
+        # Phase 5: remaining homeward moves, then measure in the X basis.
+        self._drain(circuit, go_home, t_floor)
+
+        for plaq in plaquettes:
+            m = measure_ions[plaq.face]
+            _, label = self.model.measure_x(circuit, m)
+            record.outcome_labels[plaq.face] = label
+
+        record.t_end = max(grid.ion_ready(ion) for ion in all_ions)
+        record.junction_conflicts = grid.junction_conflicts - conflicts_before
+        return record
+
+    def schedule_rounds(
+        self,
+        circuit: HardwareCircuit,
+        plaquettes: list[Plaquette],
+        measure_ions: dict[tuple[int, int], int],
+        data_ion_at: dict[int, int],
+        rounds: int,
+        t_min: float = 0.0,
+    ) -> list[RoundRecord]:
+        records = []
+        t = t_min
+        for _ in range(rounds):
+            rec = self.schedule_round(circuit, plaquettes, measure_ions, data_ion_at, t)
+            records.append(rec)
+            t = rec.t_end
+        return records

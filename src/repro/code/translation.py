@@ -1,0 +1,204 @@
+"""Move Right and Swap Left: patch translation (paper §2.5, Fig 4).
+
+*Move Right* is a verified primitive that performs a one-column move
+operation to the right: the patch extends by one data column into its
+ancilla strip (new column prepared in |+>, extended stabilizers measured
+for a logical time-step) and the left-most column is measured away.  It
+"requires a tile to borrow a column from the tile to the right of itself to
+support syndrome measurement qubits for the resultant boundary stabilizers"
+(fn 10) — the extended patch's right-boundary corridors fall on the next
+tile's first column.
+
+*Swap Left* then translates the patch back onto its original tile using ion
+movement alone: every data ion shifts one unit column west (effectively
+swapping the data columns with the ancilla strip), and the right-boundary
+measure ions walk around the patch to become the new left-boundary ions.
+
+The composition maps Standard -> Rotated-Flipped (or Rotated -> Flipped) in
+one logical time-step on a single tile: the one-column shift re-anchors the
+face checkerboard (letters swap) *and* shifts the boundary faces (offset
+toggles) — see :class:`~repro.code.arrangements.Arrangement`.
+"""
+
+from __future__ import annotations
+
+from repro.code.arrangements import Arrangement
+from repro.code.logical_qubit import LogicalQubit, TrackedOperator
+from repro.code.patch_layout import PatchLayout
+from repro.code.patch_ops import _evacuate_stale_ions, _staff_measure_ions
+from repro.code.stabilizer_circuits import RoundRecord
+from repro.hardware.relocation import RelocationError, relocate_ion
+from repro.hardware.circuit import HardwareCircuit
+
+__all__ = ["move_right", "swap_left", "move_right_swap_left"]
+
+
+def move_right(
+    circuit: HardwareCircuit,
+    lq: LogicalQubit,
+    rounds: int | None = None,
+) -> tuple[LogicalQubit, list[RoundRecord]]:
+    """One-column lattice-surgery shift to the right (1 logical time-step).
+
+    Returns the shifted patch, which occupies unit columns origin+1 ..
+    origin+dx and sits in the arrangement with both bits toggled
+    (Standard -> Rotated-Flipped).
+    """
+    if not lq.initialized:
+        raise ValueError("cannot move an uninitialized patch")
+    if lq.arrangement not in (Arrangement.STANDARD, Arrangement.ROTATED):
+        raise ValueError("move_right starts from the standard or rotated arrangement")
+    grid, model = lq.grid, lq.model
+    origin = lq.layout.origin
+    rounds = lq.dt if rounds is None else rounds
+
+    # Extend one column into the ancilla strip: widths dx+1 (parity changes,
+    # the layout constructor handles even widths).
+    ext = LogicalQubit(
+        grid, model, lq.dx + 1, lq.dz, origin, lq.arrangement,
+        name=f"{lq.name}>", place_ions=False,
+    )
+    for (i, j), site in sorted(ext.layout.data_sites().items()):
+        ext.data_ions[(i, j)] = grid.ensure_ion(circuit, site, f"{ext.name}:d{i},{j}")
+    _staff_measure_ions(circuit, ext, list(lq.measure_ions.values()))
+    h_letter = lq.arrangement.horizontal_letter
+    prep = model.prepare_x if h_letter == "X" else model.prepare_z
+    for i in range(ext.dz):
+        prep(circuit, ext.data_ions[(i, lq.dx)])
+    ext.initialized = True
+    records = ext.idle(circuit, rounds=rounds)
+
+    # Move the cross-axis logical off column 0 before measuring it away:
+    # column 0 -> column 1 picks up the fj=0 face outcomes (§4.5 operator
+    # movement), the measurement itself adds the (0,0) outcome to the
+    # horizontal logical.
+    v_letter = lq.arrangement.vertical_letter
+    first = records[0].outcome_labels
+    move_labels = [
+        first[p.face]
+        for p in ext.plaquettes
+        if p.pauli == v_letter and p.face[1] == 0
+    ]
+    basis = h_letter
+    measure = model.measure_x if basis == "X" else model.measure_z
+    col0_labels = {}
+    for i in range(ext.dz):
+        _, label = measure(circuit, ext.data_ions[(i, 0)])
+        col0_labels[i] = label
+
+    shifted = LogicalQubit(
+        grid, model, lq.dx, lq.dz, (origin[0], origin[1] + 1),
+        lq.arrangement.after_column_shift(),
+        name=f"{lq.name}'", place_ions=False,
+    )
+    for (i, j) in shifted.layout.data_sites():
+        shifted.data_ions[(i, j)] = ext.data_ions[(i, j + 1)]
+    _staff_measure_ions(circuit, shifted, list(ext.measure_ions.values()))
+    shifted.initialized = True
+
+    if v_letter == "Z":
+        shifted.logical_z = TrackedOperator(
+            shifted.layout.logical_z(), lq.logical_z.corrections + move_labels
+        )
+        shifted.logical_x = TrackedOperator(
+            shifted.layout.logical_x(), lq.logical_x.corrections + [col0_labels[0]]
+        )
+    else:
+        shifted.logical_x = TrackedOperator(
+            shifted.layout.logical_x(), lq.logical_x.corrections + move_labels
+        )
+        shifted.logical_z = TrackedOperator(
+            shifted.layout.logical_z(), lq.logical_z.corrections + [col0_labels[0]]
+        )
+    lq.initialized = False
+    return shifted, records
+
+
+def swap_left(circuit: HardwareCircuit, lq: LogicalQubit) -> LogicalQubit:
+    """Translate the patch one unit column west by ion movement alone.
+
+    Zero logical time-steps — only movement.  Order of operations matters:
+    measure ions are re-staffed onto the final face set's homes *before* the
+    data lockstep (their long routes go around the patch through the ancilla
+    strip, stepping parked ions aside); stale ions on future data sites are
+    evacuated into unused corridor segments; finally every data ion shifts
+    one unit column west (O -> M -> junction crossing -> M -> O) in
+    west-first lockstep, with pocket-parked ions stepping aside as needed.
+    """
+    if not lq.initialized:
+        raise ValueError("cannot swap an uninitialized patch")
+    grid, model = lq.grid, lq.model
+    origin = lq.layout.origin
+    if origin[1] < 1:
+        raise ValueError("no tile column to the left to swap into")
+
+    final = LogicalQubit(
+        grid, model, lq.dx, lq.dz, (origin[0], origin[1] - 1), lq.arrangement,
+        name=f"{lq.name}<", place_ions=False,
+    )
+    target_data_sites = set(final.layout.data_sites().values())
+    used: set[int] = set(target_data_sites)
+    for plaq in final.plaquettes:
+        used |= plaq.all_sites()
+        used.add(plaq.home)
+    live = set(lq.data_ions.values()) | set(lq.measure_ions.values())
+    free_zones = [s for s in grid.zone_sites() if s not in used]
+
+    def evacuate(ion: int) -> None:
+        r, c = grid.coords(grid.site_of(ion))
+        for candidate in sorted(
+            free_zones,
+            key=lambda s: abs(grid.coords(s)[0] - r) + abs(grid.coords(s)[1] - c),
+        ):
+            if grid.ion_at(candidate) is not None:
+                continue
+            try:
+                relocate_ion(grid, circuit, ion, candidate)
+                return
+            except RelocationError:
+                continue
+        raise RuntimeError(f"cannot evacuate stale ion {ion}")
+
+    # 1. Clear future data sites of measured-out leftovers.
+    for site in sorted(target_data_sites):
+        stale = grid.ion_at(site)
+        if stale is not None and stale not in live:
+            evacuate(stale)
+
+    # 2. Re-staff measure ions onto the final homes while corridors are open.
+    _staff_measure_ions(circuit, final, list(lq.measure_ions.values()))
+
+    # 3. Evacuate leftover measure ions from the final working area.
+    staffed = set(final.measure_ions.values())
+    for ion in list(lq.measure_ions.values()):
+        if ion in staffed or ion not in grid.ions():
+            continue
+        if grid.site_of(ion) in used:
+            evacuate(ion)
+
+    # 4. West-first lockstep shift of every data ion by one unit column.
+    for (i, j), ion in sorted(lq.data_ions.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        r, c = grid.coords(grid.site_of(ion))
+        relocate_ion(grid, circuit, ion, grid.index(r, c - 4))
+
+    for (i, j) in final.layout.data_sites():
+        final.data_ions[(i, j)] = lq.data_ions[(i, j)]
+    final.initialized = True
+    final.logical_x = TrackedOperator(final.layout.logical_x(), lq.logical_x.corrections)
+    final.logical_z = TrackedOperator(final.layout.logical_z(), lq.logical_z.corrections)
+    lq.initialized = False
+    return final
+
+def move_right_swap_left(
+    circuit: HardwareCircuit,
+    lq: LogicalQubit,
+    rounds: int | None = None,
+) -> tuple[LogicalQubit, list[RoundRecord]]:
+    """Fig 4: Move Right then Swap Left — arrangement map on one tile.
+
+    Standard -> Rotated-Flipped (shown in Fig 4) or Rotated -> Flipped, in
+    one logical time-step, ending on the original tile.
+    """
+    shifted, records = move_right(circuit, lq, rounds=rounds)
+    final = swap_left(circuit, shifted)
+    return final, records

@@ -1,0 +1,13 @@
+"""The paper's primary contribution: the tile-based lattice-surgery compiler.
+
+Implements the local lattice-surgery instruction set of Table 1 acting on
+logical tiles (:mod:`repro.core.instructions`), the derived instruction set
+of Table 3 (:mod:`repro.core.derived`), long-range CNOT via Bell chains
+(§2.1, :mod:`repro.core.router`), and the top-level :class:`TISCC` compiler
+facade (:mod:`repro.core.compiler`).
+"""
+
+from repro.core.tiles import Tile, TileGrid
+from repro.core.compiler import TISCC, CompiledOperation
+
+__all__ = ["Tile", "TileGrid", "TISCC", "CompiledOperation"]

@@ -1,0 +1,136 @@
+"""Top-level TISCC compiler facade (paper App. B usage pattern).
+
+"To use TISCC, one typically initializes the GridManager with the size of
+the hardware grid.  Then, LogicalQubit(s) are added.  Finally, primitive
+operations from Table 2 are appended using the appropriate LogicalQubit
+methods.  Lastly, validity of the hardware circuit is enforced through the
+GridManager and the circuit and/or final resource counts are printed."
+
+:class:`TISCC` wraps that flow at the tile level: allocate a tile grid,
+execute Table 1/Table 3 instructions by name, and collect the time-resolved
+circuit, validity report, resource estimate, and (optionally) a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.derived import DerivedInstructions
+from repro.core.instructions import InstructionResult
+from repro.core.tiles import TileGrid
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.resources import ResourceReport, estimate_resources
+from repro.hardware.validity import ValidityReport, check_circuit
+from repro.sim.interpreter import CircuitInterpreter, RunResult
+
+__all__ = ["TISCC", "CompiledOperation"]
+
+
+@dataclass
+class CompiledOperation:
+    """A compiled program: circuit, per-instruction results, bookkeeping."""
+
+    circuit: HardwareCircuit
+    results: list[InstructionResult]
+    initial_occupancy: dict[int, int]
+    operation: str = ""
+    dx: int = 0
+    dz: int = 0
+    validity: ValidityReport | None = None
+    resources: ResourceReport | None = None
+
+    @property
+    def logical_timesteps(self) -> int:
+        return sum(r.logical_timesteps for r in self.results)
+
+    def to_text(self) -> str:
+        return self.circuit.to_text(header=f"TISCC {self.operation} dx={self.dx} dz={self.dz}")
+
+
+class TISCC:
+    """Compile tile-level programs to trapped-ion hardware circuits.
+
+    A program is a list of steps ``(mnemonic, *args)``; supported mnemonics
+    cover Table 1 and Table 3 (see ``MNEMONICS``).  ``rounds`` overrides the
+    number of error-correction rounds per logical time-step (default dt).
+    """
+
+    MNEMONICS = (
+        "PrepareZ", "PrepareX", "InjectY", "InjectT", "MeasureZ", "MeasureX",
+        "PauliX", "PauliY", "PauliZ", "Hadamard", "Idle", "MeasureZZ",
+        "MeasureXX", "BellPrepare", "BellMeasure", "Move", "ExtendSplit",
+        "MergeContract", "PatchExtension",
+    )
+
+    def __init__(
+        self,
+        dx: int,
+        dz: int,
+        tile_rows: int = 1,
+        tile_cols: int = 2,
+        rounds: int | None = None,
+    ):
+        self.tiles = TileGrid(tile_rows, tile_cols, dx, dz)
+        self.ops = DerivedInstructions(self.tiles, rounds=rounds)
+
+    @property
+    def grid(self):
+        return self.tiles.grid
+
+    def compile(self, program: list[tuple], operation: str = "") -> CompiledOperation:
+        """Execute a program, returning the compiled operation bundle."""
+        occ0 = self.tiles.occupancy_snapshot()
+        circuit = HardwareCircuit()
+        results = []
+        for step in program:
+            mnemonic, *args = step
+            results.append(self._dispatch(circuit, mnemonic, args))
+        compiled = CompiledOperation(
+            circuit=circuit,
+            results=results,
+            initial_occupancy=occ0,
+            operation=operation or "+".join(s[0] for s in program),
+            dx=self.tiles.dx,
+            dz=self.tiles.dz,
+        )
+        compiled.validity = check_circuit(self.grid, circuit, occ0)
+        compiled.resources = estimate_resources(
+            self.grid, circuit, compiled.operation, self.tiles.dx, self.tiles.dz
+        )
+        return compiled
+
+    def _dispatch(self, circuit, mnemonic: str, args) -> InstructionResult:
+        ops = self.ops
+        table = {
+            "PrepareZ": lambda c: ops.prepare_z(circuit, c),
+            "PrepareX": lambda c: ops.prepare_x(circuit, c),
+            "InjectY": lambda c: ops.inject(circuit, c, "Y"),
+            "InjectT": lambda c: ops.inject(circuit, c, "T"),
+            "MeasureZ": lambda c: ops.measure(circuit, c, "Z"),
+            "MeasureX": lambda c: ops.measure(circuit, c, "X"),
+            "PauliX": lambda c: ops.pauli(circuit, c, "X"),
+            "PauliY": lambda c: ops.pauli(circuit, c, "Y"),
+            "PauliZ": lambda c: ops.pauli(circuit, c, "Z"),
+            "Hadamard": lambda c: ops.hadamard(circuit, c),
+            "Idle": lambda c: ops.idle(circuit, c),
+            "MeasureZZ": lambda a, b: ops.measure_zz(circuit, a, b),
+            "MeasureXX": lambda a, b: ops.measure_xx(circuit, a, b),
+            "BellPrepare": lambda a, b: ops.bell_prepare(circuit, a, b),
+            "BellMeasure": lambda a, b: ops.bell_measure(circuit, a, b),
+            "Move": lambda c, d="right": ops.move(circuit, c, d),
+            "ExtendSplit": lambda c, d="right": ops.extend_split(circuit, c, d),
+            "MergeContract": lambda a, b, k="near": ops.merge_contract(circuit, a, b, k),
+            "PatchExtension": lambda c, d="right": ops.patch_extension(circuit, c, d),
+        }
+        try:
+            fn = table[mnemonic]
+        except KeyError:
+            raise ValueError(
+                f"unknown mnemonic {mnemonic!r}; supported: {', '.join(self.MNEMONICS)}"
+            ) from None
+        return fn(*args)
+
+    def simulate(self, compiled: CompiledOperation, seed: int | None = None) -> RunResult:
+        """Replay a compiled operation on the stabilizer backend."""
+        interp = CircuitInterpreter(self.grid, seed=seed)
+        return interp.run(compiled.circuit, compiled.initial_occupancy)

@@ -1,0 +1,202 @@
+"""The derived instruction set of Table 3.
+
+These could be built from Table 1 instructions, but TISCC "implements them
+more efficiently in terms of primitive operations by exploiting commutation
+of stabilizers" — e.g. Extend-Split fuses a Prepare X with the following
+Measure ZZ into a single time-step because the |+> state need not be
+fault-tolerantly encoded before the joint measurement (App. A).
+"""
+
+from __future__ import annotations
+
+from repro.code import patch_ops
+from repro.core.instructions import InstructionResult, InstructionSet
+from repro.hardware.circuit import HardwareCircuit
+
+__all__ = ["DerivedInstructions", "TABLE3"]
+
+#: Table 3 rows: operation -> (tiles in/out, logical time-steps).
+TABLE3: dict[str, tuple[str, int]] = {
+    "BellPrepare": ("2/2", 1),
+    "BellMeasure": ("2/2", 1),
+    "ExtendSplit": ("2/2", 1),
+    "MergeContract": ("2/2", 1),
+    "Move": ("2/2", 1),
+    "PatchContraction": ("2/1", 0),
+    "PatchExtension": ("1/2", 1),
+}
+
+
+class DerivedInstructions(InstructionSet):
+    """Table 3 operations on a tile grid (extends the Table 1 set)."""
+
+    # -------------------------------------------------------- Bell states
+    def bell_prepare(self, circuit: HardwareCircuit, coord_a, coord_b) -> InstructionResult:
+        """Initialize a Bell state on two adjacent uninitialized tiles (1 step).
+
+        Both tiles are prepared transversally in the basis fixed by the
+        joint measurement (|+> pairs for a ZZ seam, |0> for XX), then merged
+        and split in a single logical time-step — the preparations fuse with
+        the surgery (App. A).
+        """
+        orientation, first, second = self.tiles.orientation_between(coord_a, coord_b)
+        self.tiles.require_uninitialized(first)
+        self.tiles.require_uninitialized(second)
+        basis = "X" if orientation == "horizontal" else "Z"
+        lq_a = self.tiles.new_patch(first)
+        lq_b = self.tiles.new_patch(second)
+        lq_a.transversal_prepare(circuit, basis)
+        lq_b.transversal_prepare(circuit, basis)
+        lq_a.initialized = lq_b.initialized = True
+        mr = patch_ops.merge(circuit, lq_a, lq_b, orientation, rounds=self.rounds)
+        sr = patch_ops.split(circuit, mr)
+        self.tiles[first].patch = sr.left
+        self.tiles[second].patch = sr.right
+        self.tiles[first].timesteps_used += 1
+        self.tiles[second].timesteps_used += 1
+
+        def joint_value(result) -> int:
+            return mr.outcome_sign(result)
+
+        def conjugate_value(result) -> int:
+            v = 1
+            for label in sr.frame_labels:
+                v *= result.sign(label)
+            return v
+
+        return InstructionResult(
+            "BellPrepare",
+            (first, second),
+            1,
+            value=joint_value,
+            labels={"joint": mr.joint_labels, "seam": sr.frame_labels,
+                    "orientation": orientation},
+            frames=[("conjugate_pair", conjugate_value)],
+        )
+
+    def bell_measure(self, circuit: HardwareCircuit, coord_a, coord_b) -> InstructionResult:
+        """Destructive Bell-basis measurement of two adjacent tiles (1 step).
+
+        The joint XX/ZZ comes from a merge-split; the complementary joint
+        operator is then read from transversal single-qubit measurements of
+        both patches.  Both tiles end uninitialized.
+        """
+        orientation, first, second = self.tiles.orientation_between(coord_a, coord_b)
+        joint = self.measure_joint(circuit, first, second)
+        comp_basis = "X" if orientation == "horizontal" else "Z"
+        ma = self.measure(circuit, first, comp_basis)
+        mb = self.measure(circuit, second, comp_basis)
+        frame = joint.frames[0][1]
+
+        def complementary_value(result) -> int:
+            # X_A X_B (or Z_A Z_B) needs the split's seam frame folded in.
+            return ma.value(result) * mb.value(result) * frame(result)
+
+        return InstructionResult(
+            "BellMeasure",
+            (first, second),
+            1,
+            value=joint.value,
+            labels={"joint": joint.labels, "a": ma.labels, "b": mb.labels,
+                    "orientation": orientation},
+            frames=[("complementary", complementary_value)],
+        )
+
+    # ------------------------------------------------- extension family
+    def patch_extension(self, circuit: HardwareCircuit, coord, direction="right") -> InstructionResult:
+        """Extend a one-tile patch onto the neighbouring tile (1 step)."""
+        lq = self.tiles.require_initialized(coord)
+        orientation = "horizontal" if direction in ("right",) else "vertical"
+        other = self.tiles.neighbors(coord)["right" if orientation == "horizontal" else "down"]
+        self.tiles.require_uninitialized(other)
+        mr = patch_ops.extend_patch(circuit, lq, orientation, rounds=self.rounds)
+        self.tiles[coord].patch = mr.merged
+        self.tiles[other].patch = mr.merged
+        self.tiles[coord].timesteps_used += 1
+        self.tiles[other].timesteps_used += 1
+        res = InstructionResult("PatchExtension", (coord, other), 1)
+        res.labels["merge_result"] = mr
+        return res
+
+    def patch_contraction(
+        self, circuit: HardwareCircuit, ext_result: InstructionResult, keep: str = "near"
+    ) -> InstructionResult:
+        """Contract a two-tile patch back onto one tile (0 steps)."""
+        mr = ext_result.labels["merge_result"]
+        coord_near, coord_far = ext_result.tiles
+        lq, sr = patch_ops.contract_patch(circuit, mr, keep=keep)
+        keep_coord = coord_near if keep == "near" else coord_far
+        drop_coord = coord_far if keep == "near" else coord_near
+        self.tiles[keep_coord].patch = lq
+        self.tiles[drop_coord].patch = None
+        return InstructionResult(
+            "PatchContraction", (keep_coord,), 0, labels={"seam": sr.frame_labels}
+        )
+
+    def move(self, circuit: HardwareCircuit, coord, direction="right") -> InstructionResult:
+        """Move a patch to the adjacent tile: extension + contraction (1 step)."""
+        ext = self.patch_extension(circuit, coord, direction)
+        contraction = self.patch_contraction(circuit, ext, keep="far")
+        return InstructionResult(
+            "Move",
+            (coord, contraction.tiles[0]),
+            1,
+            labels={"extension": ext.labels, "contraction": contraction.labels},
+        )
+
+    def extend_split(self, circuit: HardwareCircuit, coord, direction="right") -> InstructionResult:
+        """Prepare X on the neighbour fused with Measure ZZ (1 step, App. A).
+
+        Implemented as a patch extension followed by a split: the fresh
+        column/row plays the role of the |+> patch, so the joint outcome is
+        available after a single time-step.
+        """
+        ext = self.patch_extension(circuit, coord, direction)
+        mr = ext.labels["merge_result"]
+        sr = patch_ops.split(circuit, mr)
+        near, far = ext.tiles
+        self.tiles[near].patch = sr.left
+        self.tiles[far].patch = sr.right
+
+        def value(result) -> int:
+            return mr.outcome_sign(result)
+
+        def frame_sign(result) -> int:
+            v = 1
+            for label in sr.frame_labels:
+                v *= result.sign(label)
+            return v
+
+        return InstructionResult(
+            "ExtendSplit",
+            (near, far),
+            1,
+            value=value,
+            labels={"joint": mr.joint_labels, "seam": sr.frame_labels},
+            frames=[("conjugate_pair", frame_sign)],
+        )
+
+    def merge_contract(self, circuit: HardwareCircuit, coord_a, coord_b, keep="near") -> InstructionResult:
+        """Measure ZZ/XX fused with measuring one patch out (1 step, App. A)."""
+        orientation, first, second = self.tiles.orientation_between(coord_a, coord_b)
+        lq_a = self.tiles.require_initialized(first)
+        lq_b = self.tiles.require_initialized(second)
+        mr = patch_ops.merge(circuit, lq_a, lq_b, orientation, rounds=self.rounds)
+        lq, sr = patch_ops.contract_patch(circuit, mr, keep=keep)
+        keep_coord = first if keep == "near" else second
+        drop_coord = second if keep == "near" else first
+        self.tiles[keep_coord].patch = lq
+        self.tiles[drop_coord].patch = None
+        self.tiles[first].timesteps_used += 1
+        self.tiles[second].timesteps_used += 1
+
+        def value(result) -> int:
+            return mr.outcome_sign(result)
+
+        return InstructionResult(
+            "MergeContract",
+            (keep_coord,),
+            1,
+            value=value,
+            labels={"joint": mr.joint_labels, "seam": sr.frame_labels},
+        )

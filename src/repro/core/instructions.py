@@ -1,0 +1,188 @@
+"""The local lattice-surgery instruction set of Table 1.
+
+Every instruction acts on (and returns) one or two logical tiles.  Logical
+time-steps follow Table 1: Prepare X/Z and Idle take 1 step (dt rounds of
+error correction), Measure XX/ZZ takes 1 step (merge for dt rounds, split
+for free thanks to the ancilla strip, fn 7), and the transversal
+instructions take 0 steps.  Entangling gates are *not* in the set —
+entangling operations are realized via the entangling measurements
+Measure XX/ZZ (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.code import patch_ops
+from repro.core.tiles import TileGrid
+from repro.hardware.circuit import HardwareCircuit
+
+__all__ = ["InstructionResult", "InstructionSet", "TABLE1"]
+
+#: Table 1 rows: instruction -> (tiles in/out, logical time-steps).
+TABLE1: dict[str, tuple[int, int]] = {
+    "PrepareX": (1, 1),
+    "PrepareZ": (1, 1),
+    "InjectY": (1, 0),
+    "InjectT": (1, 0),
+    "MeasureX": (1, 0),
+    "MeasureZ": (1, 0),
+    "PauliX": (1, 0),
+    "PauliY": (1, 0),
+    "PauliZ": (1, 0),
+    "Hadamard": (1, 0),
+    "Idle": (1, 1),
+    "MeasureXX": (2, 1),
+    "MeasureZZ": (2, 1),
+}
+
+
+@dataclass
+class InstructionResult:
+    """Outcome bookkeeping for one executed instruction.
+
+    ``value`` maps a simulator :class:`~repro.sim.interpreter.RunResult` to
+    the instruction's logical measurement outcome (+/-1), where applicable.
+    ``frames`` lists (tile, pauli) frame corrections conditioned on the run
+    (functions of the result), per §4.5.
+    """
+
+    name: str
+    tiles: tuple[tuple[int, int], ...]
+    logical_timesteps: int
+    value: Callable | None = None
+    labels: dict = field(default_factory=dict)
+    frames: list = field(default_factory=list)
+
+
+class InstructionSet:
+    """Executes Table 1 instructions on a :class:`TileGrid`."""
+
+    def __init__(self, tiles: TileGrid, rounds: int | None = None):
+        self.tiles = tiles
+        #: Rounds per logical time-step (default dt = max(dx, dz), §2.2).
+        self.rounds = rounds if rounds is not None else max(tiles.dx, tiles.dz)
+
+    def _book(self, name: str, *coords) -> None:
+        steps = TABLE1[name][1]
+        for coord in coords:
+            self.tiles[coord].timesteps_used += steps
+
+    # ------------------------------------------------------------- 1 tile
+    def prepare_z(self, circuit: HardwareCircuit, coord) -> InstructionResult:
+        """Initialize an uninitialized tile to |0> fault-tolerantly (1 step)."""
+        self.tiles.require_uninitialized(coord)
+        lq = self.tiles.new_patch(coord)
+        lq.prepare(circuit, basis="Z", rounds=self.rounds)
+        self._book("PrepareZ", coord)
+        return InstructionResult("PrepareZ", (coord,), 1)
+
+    def prepare_x(self, circuit: HardwareCircuit, coord) -> InstructionResult:
+        """Initialize an uninitialized tile to |+> fault-tolerantly (1 step)."""
+        self.tiles.require_uninitialized(coord)
+        lq = self.tiles.new_patch(coord)
+        lq.prepare(circuit, basis="X", rounds=self.rounds)
+        self._book("PrepareX", coord)
+        return InstructionResult("PrepareX", (coord,), 1)
+
+    def inject(self, circuit: HardwareCircuit, coord, which: str) -> InstructionResult:
+        """Inject |Y> or |T> non-fault-tolerantly (0 steps)."""
+        self.tiles.require_uninitialized(coord)
+        lq = self.tiles.new_patch(coord)
+        lq.inject_state(circuit, which, rounds=1)
+        self._book(f"Inject{which}", coord)
+        return InstructionResult(f"Inject{which}", (coord,), 0)
+
+    def measure(self, circuit: HardwareCircuit, coord, basis: str) -> InstructionResult:
+        """Measure a tile in the X/Z basis and make it uninitialized (0 steps)."""
+        lq = self.tiles.require_initialized(coord)
+        op = lq.logical_x if basis == "X" else lq.logical_z
+        support = dict(op.pauli.ops)
+        corrections = list(op.corrections)
+        site_of = {ij: lq.layout.data_site(*ij) for ij in lq.data_ions}
+        labels = lq.transversal_measure(circuit, basis=basis)
+
+        def value(result) -> int:
+            v = 1
+            for ij, label in labels.items():
+                if site_of[ij] in support:
+                    v *= result.sign(label)
+            for label in corrections:
+                v *= result.sign(label)
+            return v
+
+        self._book(f"Measure{basis}", coord)
+        return InstructionResult(
+            f"Measure{basis}", (coord,), 0, value=value, labels=dict(labels)
+        )
+
+    def pauli(self, circuit: HardwareCircuit, coord, which: str) -> InstructionResult:
+        """Apply logical Pauli X/Y/Z (0 steps)."""
+        lq = self.tiles.require_initialized(coord)
+        lq.apply_pauli(circuit, which)
+        self._book(f"Pauli{which}", coord)
+        return InstructionResult(f"Pauli{which}", (coord,), 0)
+
+    def hadamard(self, circuit: HardwareCircuit, coord) -> InstructionResult:
+        """Transversal Hadamard; leaves a rotated patch (0 steps, fn 4)."""
+        lq = self.tiles.require_initialized(coord)
+        lq.transversal_hadamard(circuit)
+        self._book("Hadamard", coord)
+        return InstructionResult("Hadamard", (coord,), 0)
+
+    def idle(self, circuit: HardwareCircuit, coord) -> InstructionResult:
+        """dt rounds of error correction (1 step)."""
+        lq = self.tiles.require_initialized(coord)
+        lq.idle(circuit, rounds=self.rounds)
+        self._book("Idle", coord)
+        return InstructionResult("Idle", (coord,), 1)
+
+    # ------------------------------------------------------------ 2 tiles
+    def measure_joint(
+        self, circuit: HardwareCircuit, coord_a, coord_b
+    ) -> InstructionResult:
+        """Measure XX (vertical neighbours) or ZZ (horizontal) — 1 step.
+
+        Merge for one logical time-step, then split; the split's seam
+        outcomes become a Pauli-frame entry relating the two tiles (§4.5).
+        """
+        orientation, first, second = self.tiles.orientation_between(coord_a, coord_b)
+        lq_a = self.tiles.require_initialized(first)
+        lq_b = self.tiles.require_initialized(second)
+        mr = patch_ops.merge(circuit, lq_a, lq_b, orientation, rounds=self.rounds)
+        sr = patch_ops.split(circuit, mr)
+        self.tiles[first].patch = sr.left
+        self.tiles[second].patch = sr.right
+        name = "MeasureZZ" if orientation == "horizontal" else "MeasureXX"
+
+        def value(result) -> int:
+            return mr.outcome_sign(result)
+
+        def frame_sign(result) -> int:
+            v = 1
+            for label in sr.frame_labels:
+                v *= result.sign(label)
+            return v
+
+        self._book(name, first, second)
+        return InstructionResult(
+            name,
+            (first, second),
+            1,
+            value=value,
+            labels={"joint": mr.joint_labels, "seam": sr.frame_labels},
+            frames=[("conjugate_pair", frame_sign)],
+        )
+
+    def measure_zz(self, circuit, coord_a, coord_b) -> InstructionResult:
+        res = self.measure_joint(circuit, coord_a, coord_b)
+        if res.name != "MeasureZZ":
+            raise ValueError("MeasureZZ requires horizontally-adjacent tiles (§2.3)")
+        return res
+
+    def measure_xx(self, circuit, coord_a, coord_b) -> InstructionResult:
+        res = self.measure_joint(circuit, coord_a, coord_b)
+        if res.name != "MeasureXX":
+            raise ValueError("MeasureXX requires vertically-adjacent tiles (§2.3)")
+        return res

@@ -1,0 +1,174 @@
+"""Multi-tile routines: lattice-surgery CNOT and Bell chains (§2.1).
+
+The CNOT between a control and target tile goes through an intermediate
+ancilla tile (Horsman et al. protocol): prepare the ancilla in |+>, measure
+Z_C Z_A (m1), measure X_A X_T (m2), measure the ancilla in Z (m3); the
+Heisenberg flow gives CNOT up to the Pauli frame
+
+    Z on control iff m2 = -1,      X on target iff m1 * m3 = -1.
+
+"Long-range operations between remote patches can be conveniently
+implemented in just two time steps using parallel local tile-based
+operations": step one creates a chain of local Bell states along a path of
+tiles, step two performs Bell measurements along the chain, propagating the
+entanglement to the chain ends.  :func:`bell_chain` implements exactly
+that, returning the accumulated frame signs of the end-to-end Bell pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.derived import DerivedInstructions
+from repro.hardware.circuit import HardwareCircuit
+
+__all__ = ["CnotResult", "lattice_surgery_cnot", "BellChainResult", "bell_chain"]
+
+
+@dataclass
+class CnotResult:
+    """Frame bookkeeping of a lattice-surgery CNOT."""
+
+    control: tuple[int, int]
+    target: tuple[int, int]
+    ancilla: tuple[int, int]
+    logical_timesteps: int
+    #: result -> True when a Z correction is owed on the control.
+    z_on_control: Callable
+    #: result -> True when an X correction is owed on the target.
+    x_on_target: Callable
+
+
+def lattice_surgery_cnot(
+    ops: DerivedInstructions,
+    circuit: HardwareCircuit,
+    control: tuple[int, int],
+    target: tuple[int, int],
+    ancilla: tuple[int, int],
+) -> CnotResult:
+    """CNOT(control -> target) via an ancilla tile.
+
+    The ancilla must be horizontally adjacent to the control (for the ZZ
+    merge) and vertically adjacent to the target (for the XX merge), i.e.
+    the three tiles form an L (the diagonal-neighbour protocol of §2.1).
+    Takes 3 logical time-steps as written (prepare + two joint
+    measurements); the preparation can fuse with the first merge via
+    Extend-Split, and the paper's two-step figure assumes such fusions.
+    """
+    orient_ca = ops.tiles.orientation_between(control, ancilla)[0]
+    orient_at = ops.tiles.orientation_between(ancilla, target)[0]
+    if orient_ca != "horizontal" or orient_at != "vertical":
+        raise ValueError(
+            "need control-ancilla horizontal (ZZ) and ancilla-target vertical (XX)"
+        )
+    ops.prepare_x(circuit, ancilla)
+    m1 = ops.measure_zz(circuit, control, ancilla)
+    m2 = ops.measure_xx(circuit, ancilla, target)
+    m3 = ops.measure(circuit, ancilla, "Z")
+    # Merge-split joint measurements leave the pair a seam frame (§4.5): the
+    # ZZ step's X-type frame s1 enters the control's Z correction and the XX
+    # step's Z-type frame s2 enters the target's X correction:
+    #   X_C -> s1 * m2 * X_C X_T     Z_T -> m1 * m3 * s2 * Z_C Z_T.
+    s1 = m1.frames[0][1]
+    s2 = m2.frames[0][1]
+
+    def z_on_control(result) -> bool:
+        return s1(result) * m2.value(result) == -1
+
+    def x_on_target(result) -> bool:
+        return m1.value(result) * m3.value(result) * s2(result) == -1
+
+    return CnotResult(
+        control=control,
+        target=target,
+        ancilla=ancilla,
+        logical_timesteps=3,
+        z_on_control=z_on_control,
+        x_on_target=x_on_target,
+    )
+
+
+@dataclass
+class BellChainResult:
+    """End-to-end Bell pair created along a path of tiles (2 time-steps)."""
+
+    ends: tuple[tuple[int, int], tuple[int, int]]
+    logical_timesteps: int
+    #: result -> sign s such that X_end1 X_end2 = s.
+    xx_sign: Callable
+    #: result -> sign s such that Z_end1 Z_end2 = s.
+    zz_sign: Callable
+    pair_results: list = field(default_factory=list)
+    swap_results: list = field(default_factory=list)
+
+
+def bell_chain(
+    ops: DerivedInstructions,
+    circuit: HardwareCircuit,
+    path: list[tuple[int, int]],
+) -> BellChainResult:
+    """Entangle the two ends of ``path`` (even length) in two time-steps.
+
+    Step 1: Bell pairs on (path[0], path[1]), (path[2], path[3]), ... in
+    parallel.  Step 2: Bell measurements on the interior junctions
+    (path[1], path[2]), ... — entanglement swapping.  The end-to-end XX and
+    ZZ values are the products of all measured pair values, every one of
+    which is tracked to a set of measurement labels.
+    """
+    if len(path) < 2 or len(path) % 2 != 0:
+        raise ValueError("bell_chain needs an even number of tiles (pairs)")
+    pair_results = []
+    for k in range(0, len(path), 2):
+        pair_results.append(ops.bell_prepare(circuit, path[k], path[k + 1]))
+    swap_results = []
+    for k in range(1, len(path) - 1, 2):
+        swap_results.append(ops.bell_measure(circuit, path[k], path[k + 1]))
+
+    def xx_sign(result) -> int:
+        s = 1
+        for pr in pair_results:
+            if pr.labels["orientation"] == "vertical":
+                s *= pr.value(result)      # the merge measured XX directly
+            else:
+                s *= pr.frames[0][1](result)  # XX is the seam's conjugate frame
+        for sw in swap_results:
+            s *= _xx_of(sw, result)
+        return s
+
+    def zz_sign(result) -> int:
+        s = 1
+        for pr in pair_results:
+            if pr.labels["orientation"] == "vertical":
+                s *= pr.frames[0][1](result)
+            else:
+                s *= pr.value(result)
+        for sw in swap_results:
+            s *= _zz_of(sw, result)
+        return s
+
+    return BellChainResult(
+        ends=(path[0], path[-1]),
+        logical_timesteps=2,
+        xx_sign=xx_sign,
+        zz_sign=zz_sign,
+        pair_results=pair_results,
+        swap_results=swap_results,
+    )
+
+
+def _xx_of(bell_measure_result, result) -> int:
+    """X_a X_b value of a Bell measurement (joint for XX seams, frame else)."""
+    if bell_measure_result.name != "BellMeasure":
+        raise ValueError("expected a BellMeasure result")
+    if bell_measure_result.labels["orientation"] == "vertical":
+        return bell_measure_result.value(result)
+    return bell_measure_result.frames[0][1](result)
+
+
+def _zz_of(bell_measure_result, result) -> int:
+    if bell_measure_result.name != "BellMeasure":
+        raise ValueError("expected a BellMeasure result")
+    if bell_measure_result.labels["orientation"] == "vertical":
+        return bell_measure_result.frames[0][1](result)
+    return bell_measure_result.value(result)

@@ -1,0 +1,159 @@
+"""Logical tiles: the fundamental entities of the fault-tolerant layer (§2.3).
+
+A logical tile is "an abstraction of the hardware area capable of supporting
+a single surface code patch encoding one logical qubit": 2*ceil((dz+1)/2)
+unit rows by 2*ceil((dx+1)/2) unit columns of hardware.  Tiles are
+*initialized* when an operable surface-code patch occupies them and
+*uninitialized* otherwise; Table 1 instructions toggle this status.  Tiles —
+not patches — are the units of placement and scheduling (§2.1): the
+:class:`TileGrid` tracks which tiles are free or busy and maps tile
+coordinates onto grid origins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.code.logical_qubit import LogicalQubit
+from repro.code.patch_layout import tile_unit_cols, tile_unit_rows
+from repro.hardware.grid import GridManager
+from repro.hardware.model import HardwareModel
+
+__all__ = ["Tile", "TileGrid"]
+
+
+@dataclass
+class Tile:
+    """One logical tile at tile coordinate (row, col)."""
+
+    coord: tuple[int, int]
+    origin: tuple[int, int]  # hardware-unit origin
+    patch: LogicalQubit | None = None
+    #: Logical time-step counter: advanced by the instructions acting here.
+    timesteps_used: int = 0
+
+    @property
+    def initialized(self) -> bool:
+        return self.patch is not None and self.patch.initialized
+
+
+class TileGrid:
+    """A rectangular array of logical tiles over one GridManager.
+
+    All tiles share the same code distances, so tile (R, C) has its hardware
+    unit origin at (R * tile_rows, C * tile_cols) — vertically and
+    horizontally adjacent tiles are exactly merge-compatible (§2.3).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        dx: int,
+        dz: int,
+        grid: GridManager | None = None,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError("need at least one tile")
+        self.rows = rows
+        self.cols = cols
+        self.dx = dx
+        self.dz = dz
+        self.tile_rows = tile_unit_rows(dz)
+        self.tile_cols = tile_unit_cols(dx)
+        self.grid = grid or GridManager(rows * self.tile_rows, cols * self.tile_cols)
+        self.model = HardwareModel(self.grid)
+        self.tiles: dict[tuple[int, int], Tile] = {}
+        for r in range(rows):
+            for c in range(cols):
+                tile = Tile(
+                    coord=(r, c), origin=(r * self.tile_rows, c * self.tile_cols)
+                )
+                # Uninitialized tiles hold their (unprepared) ions from the
+                # start, so the occupancy snapshot handed to the simulator
+                # precedes all compiled instructions.
+                tile.patch = LogicalQubit(
+                    self.grid, self.model, dx, dz, tile.origin,
+                    name=f"t{r},{c}",
+                )
+                self.tiles[(r, c)] = tile
+
+    def __getitem__(self, coord: tuple[int, int]) -> Tile:
+        try:
+            return self.tiles[coord]
+        except KeyError:
+            raise KeyError(f"no tile at {coord} in {self.rows}x{self.cols} grid") from None
+
+    def new_patch(self, coord: tuple[int, int], name: str | None = None) -> LogicalQubit:
+        """Claim the patch of an uninitialized tile (ions already parked)."""
+        tile = self[coord]
+        if tile.initialized:
+            raise ValueError(f"tile {coord} already holds an initialized patch")
+        if tile.patch is None:
+            # The tile's original patch moved away (e.g. a Move instruction);
+            # rebuild a registry over whatever ions are parked here now.
+            patch = LogicalQubit(
+                self.grid,
+                self.model,
+                self.dx,
+                self.dz,
+                tile.origin,
+                name=name or f"t{coord[0]},{coord[1]}",
+                place_ions=False,
+            )
+            for (i, j), site in patch.layout.data_sites().items():
+                ion = self.grid.ion_at(site)
+                if ion is None:
+                    raise ValueError(
+                        f"tile {coord} lost its data ion at site {site}; "
+                        "load ions before claiming the tile"
+                    )
+                patch.data_ions[(i, j)] = ion
+            for plaq in patch.plaquettes:
+                ion = self.grid.ion_at(plaq.home)
+                if ion is None:
+                    raise ValueError(f"tile {coord} lost its measure ion at {plaq.home}")
+                patch.measure_ions[plaq.face] = ion
+            tile.patch = patch
+        return tile.patch
+
+    def require_initialized(self, coord: tuple[int, int]) -> LogicalQubit:
+        tile = self[coord]
+        if not tile.initialized:
+            raise ValueError(f"tile {coord} is not initialized")
+        assert tile.patch is not None
+        return tile.patch
+
+    def require_uninitialized(self, coord: tuple[int, int]) -> Tile:
+        tile = self[coord]
+        if tile.initialized:
+            raise ValueError(f"tile {coord} must be uninitialized")
+        return tile
+
+    def neighbors(self, coord: tuple[int, int]) -> dict[str, tuple[int, int]]:
+        r, c = coord
+        out = {}
+        if r > 0:
+            out["up"] = (r - 1, c)
+        if r < self.rows - 1:
+            out["down"] = (r + 1, c)
+        if c > 0:
+            out["left"] = (r, c - 1)
+        if c < self.cols - 1:
+            out["right"] = (r, c + 1)
+        return out
+
+    def orientation_between(
+        self, a: tuple[int, int], b: tuple[int, int]
+    ) -> tuple[str, tuple[int, int], tuple[int, int]]:
+        """('horizontal'|'vertical', first, second) for adjacent tiles."""
+        (ra, ca), (rb, cb) = a, b
+        if ra == rb and abs(ca - cb) == 1:
+            return ("horizontal", a if ca < cb else b, b if ca < cb else a)
+        if ca == cb and abs(ra - rb) == 1:
+            return ("vertical", a if ra < rb else b, b if ra < rb else a)
+        raise ValueError(f"tiles {a} and {b} are not adjacent")
+
+    def occupancy_snapshot(self) -> dict[int, int]:
+        """Site -> ion map for simulator replay (take before compiling)."""
+        return self.grid.occupancy()

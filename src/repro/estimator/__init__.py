@@ -1,0 +1,6 @@
+"""Resource-estimation front end (paper §3.4): reports and parameter sweeps."""
+
+from repro.estimator.report import format_resource_table
+from repro.estimator.sweep import sweep_operation, OPERATION_PROGRAMS
+
+__all__ = ["format_resource_table", "sweep_operation", "OPERATION_PROGRAMS"]

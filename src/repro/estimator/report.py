@@ -1,0 +1,18 @@
+"""Tabular formatting of resource estimates (paper §3.4)."""
+
+from __future__ import annotations
+
+from repro.hardware.resources import ResourceReport
+
+__all__ = ["format_resource_table"]
+
+
+def format_resource_table(reports: list[ResourceReport], title: str = "") -> str:
+    """Render resource reports as the rows the paper's estimator prints."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(ResourceReport.header())
+    lines.extend(r.row() for r in reports)
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Parameter sweeps: resource estimates across code distances (paper §3.4).
+
+Each Table 1/Table 3 operation is compiled at a range of code distances on
+a fresh tile grid and its §3.4 resource figures are collected — the
+co-design workflow the paper motivates in the introduction (resource
+estimation "for fault-tolerant implementations of quantum algorithms using
+a realistic hardware model").
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import TISCC
+from repro.hardware.resources import ResourceReport
+
+__all__ = ["OPERATION_PROGRAMS", "sweep_operation", "sweep_all"]
+
+#: Operation name -> (program builder, tile grid shape).
+OPERATION_PROGRAMS: dict[str, tuple] = {
+    "PrepareZ": (lambda: [("PrepareZ", (0, 0))], (1, 1)),
+    "PrepareX": (lambda: [("PrepareX", (0, 0))], (1, 1)),
+    "InjectY": (lambda: [("InjectY", (0, 0))], (1, 1)),
+    "MeasureZ": (lambda: [("PrepareZ", (0, 0)), ("MeasureZ", (0, 0))], (1, 1)),
+    "PauliX": (lambda: [("PrepareZ", (0, 0)), ("PauliX", (0, 0))], (1, 1)),
+    "Hadamard": (lambda: [("PrepareZ", (0, 0)), ("Hadamard", (0, 0))], (1, 1)),
+    "Idle": (lambda: [("PrepareZ", (0, 0)), ("Idle", (0, 0))], (1, 1)),
+    "MeasureZZ": (
+        lambda: [("PrepareZ", (0, 0)), ("PrepareZ", (0, 1)), ("MeasureZZ", (0, 0), (0, 1))],
+        (1, 2),
+    ),
+    "MeasureXX": (
+        lambda: [("PrepareZ", (0, 0)), ("PrepareZ", (1, 0)), ("MeasureXX", (0, 0), (1, 0))],
+        (2, 1),
+    ),
+    "BellPrepare": (lambda: [("BellPrepare", (0, 0), (0, 1))], (1, 2)),
+    "Move": (lambda: [("PrepareZ", (0, 0)), ("Move", (0, 0))], (1, 2)),
+    "ExtendSplit": (lambda: [("PrepareZ", (0, 0)), ("ExtendSplit", (0, 0))], (1, 2)),
+}
+
+
+def sweep_operation(
+    name: str,
+    distances: list[int],
+    rounds: int | None = None,
+) -> list[ResourceReport]:
+    """Compile ``name`` at each distance and collect resource reports."""
+    try:
+        build, shape = OPERATION_PROGRAMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown operation {name!r}; choose from {sorted(OPERATION_PROGRAMS)}"
+        ) from None
+    reports = []
+    for d in distances:
+        compiler = TISCC(dx=d, dz=d, tile_rows=shape[0], tile_cols=shape[1], rounds=rounds)
+        compiled = compiler.compile(build(), operation=name)
+        assert compiled.resources is not None
+        reports.append(compiled.resources)
+    return reports
+
+
+def sweep_all(distances: list[int], rounds: int | None = None) -> dict[str, list[ResourceReport]]:
+    return {name: sweep_operation(name, distances, rounds) for name in OPERATION_PROGRAMS}

@@ -1,0 +1,28 @@
+"""Trapped-ion hardware substrate.
+
+Implements the paper's §3: the M/O/J grid of trapping zones
+(:class:`~repro.hardware.grid.GridManager`), the native gate set and timing
+model (:class:`~repro.hardware.model.HardwareModel`, Table 5), time-resolved
+hardware circuits (:class:`~repro.hardware.circuit.HardwareCircuit`),
+movement-validity checking with junction-conflict resolution
+(:mod:`repro.hardware.validity`), and space-time resource accounting
+(:mod:`repro.hardware.resources`).
+"""
+
+from repro.hardware.circuit import HardwareCircuit, Instruction
+from repro.hardware.grid import GridManager
+from repro.hardware.model import HardwareModel, GATE_TIMES_US
+from repro.hardware.resources import ResourceReport, estimate_resources
+from repro.hardware.validity import CircuitValidityError, check_circuit
+
+__all__ = [
+    "HardwareCircuit",
+    "Instruction",
+    "GridManager",
+    "HardwareModel",
+    "GATE_TIMES_US",
+    "ResourceReport",
+    "estimate_resources",
+    "CircuitValidityError",
+    "check_circuit",
+]

@@ -1,0 +1,435 @@
+"""The grid of trapping zones and junctions, plus ion scheduling.
+
+``GridManager`` (paper App. B) provides "access to an array representation of
+the trapped-ion architecture along with functions to help navigate it" and
+"enforces validity of the final hardware circuit by tracking qubit movement".
+
+The fine grid tiles the repeating unit ``{M, O, M, J, M, O, M}`` of §3.1 (see
+:mod:`repro.util.geometry`).  Scheduling semantics:
+
+* ions rest only on trapping zones (M/O sites), never on junctions (§3.2);
+* a one-site move between adjacent zones takes 5.25 µs; crossing a junction
+  is emitted as a single ``Move zoneA zoneB`` between the two zones flanking
+  the junction and is allocated the time of two Junction operations
+  (2 x 105 µs = 210 µs, §3.2);
+* during a move both endpoint sites are held, so ions can never swap through
+  each other or co-occupy a site;
+* when two ions contend for the same junction the later move is delayed until
+  the junction frees up, and the conflict is counted
+  (§3.3 junction-conflict resolution).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.hardware.circuit import HardwareCircuit
+from repro.util.geometry import SiteType, site_exists, site_type_at
+
+__all__ = ["GridManager", "SiteBlockedError", "MOVE_US", "JUNCTION_HOP_US"]
+
+#: Duration of a zone-to-zone move: 420 µm at 80 m/s (§3.2).
+MOVE_US = 5.25
+#: Duration of a junction crossing: two Junction ops at 105 µs each (§3.2).
+JUNCTION_HOP_US = 210.0
+
+
+class SiteBlockedError(RuntimeError):
+    """A move targets a site occupied by a parked ion with no scheduled departure."""
+
+    def __init__(self, site: int, occupant: int):
+        super().__init__(f"site {site} is parked-on by ion {occupant}")
+        self.site = site
+        self.occupant = occupant
+
+
+def _earliest_slot(intervals: list[tuple[float, float]], t: float, dur: float) -> float:
+    """Earliest start >= t such that [start, start+dur) avoids all intervals."""
+    start = t
+    moved = True
+    while moved:
+        moved = False
+        for a, b in intervals:
+            if start < b and a < start + dur:
+                start = b
+                moved = True
+    return start
+
+
+class GridManager:
+    """Grid navigation, ion registry, and movement scheduling."""
+
+    def __init__(self, unit_rows: int, unit_cols: int):
+        if unit_rows < 1 or unit_cols < 1:
+            raise ValueError("grid must be at least 1x1 repeating units")
+        self.unit_rows = unit_rows
+        self.unit_cols = unit_cols
+        self.height = 4 * unit_rows + 1
+        self.width = 4 * unit_cols + 1
+        self.n_positions = self.height * self.width
+
+        # --- ion registry -------------------------------------------------
+        self._next_ion = 0
+        self._site_of: dict[int, int] = {}          # ion -> site
+        self._occupant: dict[int, int] = {}         # site -> ion
+        self._occupied_since: dict[int, float] = {}  # site -> time parked
+        self._ion_ready: dict[int, float] = {}      # ion -> next free time
+        self._ion_tag: dict[int, str] = {}
+
+        # --- calendars ----------------------------------------------------
+        self._site_busy: dict[int, list[tuple[float, float]]] = {}
+        self._junction_busy: dict[int, list[tuple[float, float]]] = {}
+
+        #: Count of junction conflicts resolved by serialization (§3.3).
+        self.junction_conflicts = 0
+        #: Count of moves delayed by transient site reservations.
+        self.site_delays = 0
+
+    # ------------------------------------------------------------- geometry
+    def index(self, r: int, c: int) -> int:
+        if not (0 <= r < self.height and 0 <= c < self.width):
+            raise ValueError(f"({r}, {c}) outside the {self.height}x{self.width} grid")
+        if not site_exists(r, c):
+            raise ValueError(f"({r}, {c}) is a cell interior, not a site")
+        return r * self.width + c
+
+    def coords(self, site: int) -> tuple[int, int]:
+        if not (0 <= site < self.n_positions):
+            raise ValueError(f"qsite {site} out of range")
+        return divmod(site, self.width)
+
+    def site_type(self, site: int) -> SiteType:
+        r, c = self.coords(site)
+        return site_type_at(r, c)
+
+    def is_zone(self, site: int) -> bool:
+        return self.site_type(site) is not SiteType.JUNCTION
+
+    def neighbors(self, site: int) -> list[int]:
+        """Lattice-adjacent existing sites (including junctions)."""
+        r, c = self.coords(site)
+        out = []
+        for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+            if 0 <= rr < self.height and 0 <= cc < self.width and site_exists(rr, cc):
+                out.append(rr * self.width + cc)
+        return out
+
+    def adjacent_zones(self, site: int) -> list[int]:
+        return [s for s in self.neighbors(site) if self.is_zone(s)]
+
+    def junction_between(self, a: int, b: int) -> int | None:
+        """The junction adjacent to both zones ``a`` and ``b``, if any."""
+        if not (self.is_zone(a) and self.is_zone(b)):
+            return None
+        for j in self.neighbors(a):
+            if self.site_type(j) is SiteType.JUNCTION and b in self.neighbors(j):
+                return j
+        return None
+
+    def gate_adjacent(self, a: int, b: int) -> bool:
+        """Two-qubit gates act between lattice-adjacent trapping zones."""
+        return self.is_zone(a) and self.is_zone(b) and b in self.neighbors(a)
+
+    def all_sites(self) -> Iterable[int]:
+        for r in range(self.height):
+            for c in range(self.width):
+                if site_exists(r, c):
+                    yield r * self.width + c
+
+    def zone_sites(self) -> list[int]:
+        return [s for s in self.all_sites() if self.is_zone(s)]
+
+    def zones_in_bbox(self, r0: int, c0: int, r1: int, c1: int) -> int:
+        """Number of trapping zones with r0<=r<=r1, c0<=c<=c1."""
+        count = 0
+        for r in range(max(0, r0), min(self.height, r1 + 1)):
+            for c in range(max(0, c0), min(self.width, c1 + 1)):
+                if site_exists(r, c) and site_type_at(r, c) is not SiteType.JUNCTION:
+                    count += 1
+        return count
+
+    # ----------------------------------------------------------------- ions
+    def add_ion(self, site: int, tag: str = "", t: float = 0.0) -> int:
+        if not self.is_zone(site):
+            raise ValueError(f"ions cannot rest on junction site {site}")
+        if site in self._occupant:
+            raise ValueError(f"site {site} already holds ion {self._occupant[site]}")
+        ion = self._next_ion
+        self._next_ion += 1
+        self._site_of[ion] = site
+        self._occupant[site] = ion
+        self._occupied_since[site] = t
+        self._ion_ready[ion] = t
+        self._ion_tag[ion] = tag
+        return ion
+
+    def load_ion(
+        self, circuit: HardwareCircuit, site: int, tag: str = "", t: float | None = None
+    ) -> int:
+        """Register a new ion mid-circuit, emitting a ``Load`` pseudo-instruction.
+
+        Trapped-ion systems draw fresh ions from a reservoir; Table 5 has no
+        explicit load operation, so loading is modelled as instantaneous (see
+        DESIGN.md).  The instruction lets the simulator's replay know when
+        and where the ion appears.
+        """
+        t = self.now if t is None else t
+        ion = self.add_ion(site, tag, t)
+        circuit.append("Load", (site,), t, 0.0)
+        return ion
+
+    def ensure_ion(
+        self, circuit: HardwareCircuit, site: int, tag: str = "", t: float | None = None
+    ) -> int:
+        """Reuse the ion parked at ``site`` or load a fresh one."""
+        existing = self.ion_at(site)
+        if existing is not None:
+            return existing
+        return self.load_ion(circuit, site, tag, t)
+
+    def remove_ion(self, ion: int, t: float | None = None) -> None:
+        site = self._site_of.pop(ion)
+        del self._occupant[site]
+        since = self._occupied_since.pop(site)
+        end = self._ion_ready[ion] if t is None else max(t, since)
+        self._site_busy.setdefault(site, []).append((since, end))
+        del self._ion_ready[ion]
+        del self._ion_tag[ion]
+
+    def ion_at(self, site: int) -> int | None:
+        return self._occupant.get(site)
+
+    def site_of(self, ion: int) -> int:
+        return self._site_of[ion]
+
+    def ion_ready(self, ion: int) -> float:
+        return self._ion_ready[ion]
+
+    def ion_tag(self, ion: int) -> str:
+        return self._ion_tag[ion]
+
+    def ions(self) -> dict[int, int]:
+        """ion -> site mapping (snapshot)."""
+        return dict(self._site_of)
+
+    def occupancy(self) -> dict[int, int]:
+        """site -> ion mapping (snapshot)."""
+        return dict(self._occupant)
+
+    @property
+    def now(self) -> float:
+        """Latest per-ion clock — a lower bound on when new work can start."""
+        return max(self._ion_ready.values(), default=0.0)
+
+    # ------------------------------------------------------------- routing
+    def route(
+        self,
+        src: int,
+        dst: int,
+        avoid: Sequence[int] = (),
+        ignore_occupancy: bool = False,
+    ) -> list[int]:
+        """Shortest path of sites from src to dst (BFS), skirting parked ions.
+
+        The returned path includes junction sites in transit positions; use
+        :meth:`schedule_route` to realize it.  ``avoid`` adds extra blocked
+        sites.  Occupied zones block the path unless ``ignore_occupancy``.
+        """
+        blocked = set(avoid)
+        if not ignore_occupancy:
+            blocked |= set(self._occupant) - {src, dst}
+        if src == dst:
+            return [src]
+        prev: dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self.neighbors(cur):
+                if nxt in prev or nxt in blocked:
+                    continue
+                prev[nxt] = cur
+                if nxt == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(prev[path[-1]])
+                    return path[::-1]
+                queue.append(nxt)
+        raise ValueError(f"no free path from {src} to {dst}")
+
+    def route_until(
+        self,
+        src: int,
+        goal,
+        avoid: Sequence[int] = (),
+    ) -> list[int]:
+        """BFS from ``src`` through free sites to the first zone where
+        ``goal(site)`` is true.  Used to evacuate stale ions to safe parking.
+        """
+        blocked = set(avoid) | (set(self._occupant) - {src})
+        if self.is_zone(src) and goal(src):
+            return [src]
+        prev: dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            cur = queue.popleft()
+            for nxt in self.neighbors(cur):
+                if nxt in prev or nxt in blocked:
+                    continue
+                prev[nxt] = cur
+                if self.is_zone(nxt) and goal(nxt):
+                    path = [nxt]
+                    while path[-1] != src:
+                        path.append(prev[path[-1]])
+                    return path[::-1]
+                queue.append(nxt)
+        raise ValueError(f"no reachable site satisfying the goal from {src}")
+
+    # ---------------------------------------------------------- scheduling
+    def _reserve_site(self, site: int, t: float, dur: float) -> float:
+        intervals = self._site_busy.setdefault(site, [])
+        start = _earliest_slot(intervals, t, dur)
+        return start
+
+    def _commit_site(self, site: int, t0: float, t1: float) -> None:
+        self._site_busy.setdefault(site, []).append((t0, t1))
+
+    def schedule_move(
+        self,
+        circuit: HardwareCircuit,
+        ion: int,
+        dst: int,
+        t_min: float = 0.0,
+    ) -> tuple[float, float]:
+        """Schedule one hop (zone-zone or across a junction) for ``ion``.
+
+        Returns (start, end) in µs.  Raises :class:`SiteBlockedError` when the
+        destination is parked-on, ``ValueError`` when dst is not reachable in
+        one hop.
+        """
+        src = self._site_of[ion]
+        if dst == src:
+            return (self._ion_ready[ion], self._ion_ready[ion])
+        if not self.is_zone(dst):
+            raise ValueError(f"ion cannot stop on junction site {dst}")
+        junction = None
+        if dst in self.neighbors(src):
+            dur = MOVE_US
+        else:
+            junction = self.junction_between(src, dst)
+            if junction is None:
+                raise ValueError(f"sites {src} and {dst} are not one hop apart")
+            dur = JUNCTION_HOP_US
+
+        occupant = self._occupant.get(dst)
+        if occupant is not None:
+            raise SiteBlockedError(dst, occupant)
+
+        t = max(t_min, self._ion_ready[ion])
+        t_site = self._reserve_site(dst, t, dur)
+        if t_site > t:
+            self.site_delays += 1
+        t = t_site
+        if junction is not None:
+            intervals = self._junction_busy.setdefault(junction, [])
+            t_junction = _earliest_slot(intervals, t, dur)
+            if t_junction > t:
+                self.junction_conflicts += 1
+                # Re-check the destination slot at the pushed-back time.
+                t_junction = self._reserve_site(dst, t_junction, dur)
+            t = t_junction
+            intervals.append((t, t + dur))
+
+        # Close out the origin occupancy (held through the transit) and park
+        # the ion on the destination from the start of the transit.
+        since = self._occupied_since.pop(src)
+        self._commit_site(src, since, t + dur)
+        del self._occupant[src]
+        self._occupant[dst] = ion
+        self._occupied_since[dst] = t
+        self._site_of[ion] = dst
+        self._ion_ready[ion] = t + dur
+        circuit.append("Move", (src, dst), t, dur)
+        return (t, t + dur)
+
+    def schedule_route(
+        self,
+        circuit: HardwareCircuit,
+        ion: int,
+        path: Sequence[int],
+        t_min: float = 0.0,
+    ) -> float:
+        """Realize a path (as returned by :meth:`route`) as scheduled moves.
+
+        Junction entries in the path are folded into single junction-crossing
+        moves.  Returns the arrival time.
+        """
+        if not path:
+            return self._ion_ready[ion]
+        if path[0] != self._site_of[ion]:
+            raise ValueError("path must start at the ion's current site")
+        t_end = max(t_min, self._ion_ready[ion])
+        i = 1
+        while i < len(path):
+            step = path[i]
+            if self.site_type(step) is SiteType.JUNCTION:
+                if i + 1 >= len(path):
+                    raise ValueError("path may not end on a junction")
+                _, t_end = self.schedule_move(circuit, ion, path[i + 1], t_min)
+                i += 2
+            else:
+                _, t_end = self.schedule_move(circuit, ion, step, t_min)
+                i += 1
+        return t_end
+
+    def schedule_gate1(
+        self,
+        circuit: HardwareCircuit,
+        name: str,
+        ion: int,
+        duration: float,
+        t_min: float = 0.0,
+        label: str | None = None,
+    ) -> tuple[float, float]:
+        """Schedule a single-qubit native operation on ``ion`` at its site."""
+        t = max(t_min, self._ion_ready[ion])
+        site = self._site_of[ion]
+        circuit.append(name, (site,), t, duration, label)
+        self._ion_ready[ion] = t + duration
+        return (t, t + duration)
+
+    def schedule_gate2(
+        self,
+        circuit: HardwareCircuit,
+        name: str,
+        ion_a: int,
+        ion_b: int,
+        duration: float,
+        t_min: float = 0.0,
+    ) -> tuple[float, float]:
+        """Schedule a two-qubit native gate between adjacent-zone ions."""
+        site_a = self._site_of[ion_a]
+        site_b = self._site_of[ion_b]
+        if not self.gate_adjacent(site_a, site_b):
+            raise ValueError(
+                f"two-qubit gate requires adjacent zones, got {site_a} and {site_b}"
+            )
+        t = max(t_min, self._ion_ready[ion_a], self._ion_ready[ion_b])
+        circuit.append(name, (site_a, site_b), t, duration)
+        self._ion_ready[ion_a] = t + duration
+        self._ion_ready[ion_b] = t + duration
+        return (t, t + duration)
+
+    def sync_ions(self, ions: Iterable[int], t_min: float = 0.0) -> float:
+        """Barrier: raise every listed ion's clock to the common max."""
+        ions = list(ions)
+        t = max([t_min] + [self._ion_ready[i] for i in ions])
+        for i in ions:
+            self._ion_ready[i] = t
+        return t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<GridManager {self.unit_rows}x{self.unit_cols} units, "
+            f"{len(self._site_of)} ions>"
+        )

@@ -1,0 +1,124 @@
+"""Ion relocation with step-aside maneuvers.
+
+Parked data ions partition the grid into per-plaquette clusters (this is by
+design: syndrome-extraction traffic stays local, §3.3).  Whenever an ion
+must travel further — re-homing measure ions after a merge, a corner
+movement, or a Swap Left — blocking ions temporarily step into a free side
+branch across a junction, let the traveler pass, and return.  This is a
+standard QCCD shuttling maneuver; every move goes through the grid's
+calendars, so the resulting circuit remains valid and fully timed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.util.geometry import SiteType
+
+__all__ = ["relocate_ion", "RelocationError"]
+
+
+class RelocationError(RuntimeError):
+    """No step-aside plan could realize the requested relocation."""
+
+
+def _hops(grid: GridManager, path: list[int]) -> list[int]:
+    """Zone-only waypoints of a route (junction entries folded away)."""
+    return [s for s in path if grid.site_type(s) is not SiteType.JUNCTION]
+
+
+def _aside_route(
+    grid: GridManager,
+    blocker_site: int,
+    forbidden_final: set[int],
+) -> list[int] | None:
+    """A <=2-zone-hop route taking the blocker to a free off-path zone.
+
+    Transit through path sites is allowed (the calendars serialize it); only
+    the final parking site must be free and outside ``forbidden_final``.
+    """
+    start = blocker_site
+    frontier: deque[tuple[int, list[int]]] = deque([(start, [start])])
+    seen = {start}
+    while frontier:
+        cur, path = frontier.popleft()
+        zones_so_far = len(_hops(grid, path)) - 1
+        if zones_so_far >= 2:
+            continue
+        for nxt in grid.neighbors(cur):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if grid.site_type(nxt) is SiteType.JUNCTION:
+                frontier.append((nxt, path + [nxt]))
+                continue
+            if grid.ion_at(nxt) is not None:
+                continue
+            new_path = path + [nxt]
+            if nxt not in forbidden_final:
+                return new_path
+            frontier.append((nxt, new_path))
+    return None
+
+
+def relocate_ion(
+    grid: GridManager,
+    circuit: HardwareCircuit,
+    ion: int,
+    dst: int,
+    t_min: float | None = None,
+) -> float:
+    """Move ``ion`` to ``dst``, stepping blocking ions aside as needed.
+
+    Returns the arrival time.  Raises :class:`RelocationError` when some
+    blocker has no free side branch to retreat into.
+    """
+    t = grid.now if t_min is None else t_min
+    src = grid.site_of(ion)
+    if src == dst:
+        return grid.ion_ready(ion)
+    if grid.ion_at(dst) is not None:
+        raise RelocationError(f"destination {dst} is occupied")
+    # Data ions are pinned: the route must go around them (vertical corridors
+    # and the ancilla strip always provide a data-free detour on this
+    # architecture).  Parked measure ions are soft blockers that step aside.
+    hard = {
+        s
+        for s, k in grid.occupancy().items()
+        if ":d" in grid.ion_tag(k) and k != ion and s != dst
+    }
+    try:
+        path = grid.route(src, dst, avoid=hard, ignore_occupancy=True)
+    except ValueError:
+        path = grid.route(src, dst, ignore_occupancy=True)
+    waypoints = _hops(grid, path)
+    remaining = set(waypoints)
+    parked_aside: list[tuple[int, int]] = []  # (blocker, original site)
+
+    for k in range(1, len(waypoints)):
+        step = waypoints[k]
+        remaining.discard(waypoints[k - 1])
+        blocker = grid.ion_at(step)
+        if blocker is not None:
+            aside = _aside_route(grid, step, forbidden_final=remaining | {src})
+            if aside is None:
+                raise RelocationError(
+                    f"blocker ion {blocker} at site {step} has no side branch"
+                )
+            grid.schedule_route(circuit, blocker, aside, t_min=t)
+            parked_aside.append((blocker, step))
+        _, t = grid.schedule_move(circuit, ion, step, t_min=t)
+
+    # Traveler through, blockers return home (reverse order).  A blocker
+    # whose way back is sealed (e.g. two stale ions shuffled into the same
+    # spare segment) stays at its aside site — callers that re-home active
+    # measure ions re-staff from actual positions, so this is safe.
+    for blocker, original in reversed(parked_aside):
+        try:
+            back = grid.route(grid.site_of(blocker), original)
+        except ValueError:
+            continue
+        grid.schedule_route(circuit, blocker, back, t_min=t)
+    return t

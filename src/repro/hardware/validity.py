@@ -1,0 +1,169 @@
+"""Independent hardware-circuit validity checking (paper §3.3).
+
+"In TISCC, we implement basic hardware validity checks such as that two
+qubits do not move through the same junction at the same time, and that two
+qubits do not occupy the same site at the same time."
+
+:func:`check_circuit` replays a compiled, time-resolved circuit against an
+initial site occupancy and raises :class:`CircuitValidityError` on the first
+violation.  It is deliberately independent of the scheduling logic in
+:class:`~repro.hardware.grid.GridManager` so that it can double-check any
+compiled circuit, exactly as ORQCS re-models the hardware on its side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.circuit import HardwareCircuit, Instruction
+from repro.hardware.grid import GridManager, JUNCTION_HOP_US, MOVE_US
+
+__all__ = ["CircuitValidityError", "ValidityReport", "check_circuit"]
+
+_EPS = 1e-9
+
+
+class CircuitValidityError(RuntimeError):
+    """A hardware circuit violates an occupancy/movement/timing constraint."""
+
+    def __init__(self, message: str, instruction: Instruction | None = None):
+        if instruction is not None:
+            message = f"{message} (at {instruction.to_text()!r})"
+        super().__init__(message)
+        self.instruction = instruction
+
+
+@dataclass
+class ValidityReport:
+    """Summary statistics from a successful validity replay."""
+
+    n_instructions: int = 0
+    n_moves: int = 0
+    n_junction_crossings: int = 0
+    junctions_used: set[int] = field(default_factory=set)
+    sites_used: set[int] = field(default_factory=set)
+    final_occupancy: dict[int, int] = field(default_factory=dict)
+    makespan: float = 0.0
+
+
+def check_circuit(
+    grid: GridManager,
+    circuit: HardwareCircuit,
+    initial_occupancy: dict[int, int],
+) -> ValidityReport:
+    """Replay ``circuit`` from ``initial_occupancy`` (site -> ion).
+
+    Verifies, instruction by instruction in time order:
+
+    * moves are single hops between adjacent zones (5.25 µs) or junction
+      crossings between the two zones flanking one junction (210 µs);
+    * an ion never starts an operation before its previous one finished;
+    * a move's destination has been fully vacated before the transit begins;
+    * no two ions cross the same junction at overlapping times;
+    * gates/preps/measurements act on occupied zones, with ZZ requiring
+      lattice adjacency.
+    """
+    occupant: dict[int, int] = dict(initial_occupancy)
+    site_release: dict[int, float] = {}
+    ion_free: dict[int, float] = {ion: 0.0 for ion in occupant.values()}
+    junction_free: dict[int, float] = {}
+    report = ValidityReport(final_occupancy=occupant)
+
+    for site, ion in occupant.items():
+        if not grid.is_zone(site):
+            raise CircuitValidityError(f"initial occupancy places ion {ion} on junction {site}")
+    if len(set(occupant.values())) != len(occupant):
+        raise CircuitValidityError("initial occupancy maps two sites to the same ion")
+
+    for inst in circuit.sorted_instructions():
+        report.n_instructions += 1
+        report.sites_used.update(inst.sites)
+        t, dur = inst.t, inst.duration
+
+        if inst.name == "Load":
+            (s,) = inst.sites
+            if s in occupant:
+                raise CircuitValidityError(f"Load onto occupied site {s}", inst)
+            if not grid.is_zone(s):
+                raise CircuitValidityError("ions load onto trapping zones only", inst)
+            if t + _EPS < site_release.get(s, 0.0):
+                raise CircuitValidityError(f"site {s} not vacated at load time", inst)
+            new_ion = max(ion_free, default=-1) + 1
+            occupant[s] = new_ion
+            ion_free[new_ion] = t
+
+        elif inst.name == "Move":
+            if len(inst.sites) != 2:
+                raise CircuitValidityError("Move takes exactly two qsites", inst)
+            src, dst = inst.sites
+            ion = occupant.get(src)
+            if ion is None:
+                raise CircuitValidityError(f"Move from unoccupied site {src}", inst)
+            if ion_free.get(ion, 0.0) > t + _EPS:
+                raise CircuitValidityError(
+                    f"ion {ion} busy until {ion_free[ion]:.3f}, move starts at {t:.3f}", inst
+                )
+            if dst in occupant:
+                raise CircuitValidityError(
+                    f"Move into occupied site {dst} (ion {occupant[dst]})", inst
+                )
+            if t + _EPS < site_release.get(dst, 0.0):
+                raise CircuitValidityError(
+                    f"site {dst} not vacated until {site_release[dst]:.3f}", inst
+                )
+            if not grid.is_zone(dst) or not grid.is_zone(src):
+                raise CircuitValidityError("moves must start and end on trapping zones", inst)
+            junction = grid.junction_between(src, dst)
+            if dst in grid.neighbors(src):
+                if abs(dur - MOVE_US) > _EPS:
+                    raise CircuitValidityError(f"adjacent-zone move must take {MOVE_US} µs", inst)
+            elif junction is not None:
+                if abs(dur - JUNCTION_HOP_US) > _EPS:
+                    raise CircuitValidityError(
+                        f"junction crossing must take {JUNCTION_HOP_US} µs", inst
+                    )
+                if t + _EPS < junction_free.get(junction, 0.0):
+                    raise CircuitValidityError(
+                        f"junction {junction} busy until {junction_free[junction]:.3f}", inst
+                    )
+                junction_free[junction] = t + dur
+                report.n_junction_crossings += 1
+                report.junctions_used.add(junction)
+            else:
+                raise CircuitValidityError(f"{src} -> {dst} is not a legal hop", inst)
+            del occupant[src]
+            occupant[dst] = ion
+            site_release[src] = t + dur
+            ion_free[ion] = t + dur
+            report.n_moves += 1
+
+        elif inst.name == "ZZ":
+            if len(inst.sites) != 2:
+                raise CircuitValidityError("ZZ takes exactly two qsites", inst)
+            a, b = inst.sites
+            if not grid.gate_adjacent(a, b):
+                raise CircuitValidityError(f"ZZ between non-adjacent zones {a}, {b}", inst)
+            for s in (a, b):
+                ion = occupant.get(s)
+                if ion is None:
+                    raise CircuitValidityError(f"ZZ on unoccupied site {s}", inst)
+                if ion_free.get(ion, 0.0) > t + _EPS:
+                    raise CircuitValidityError(f"ion {ion} busy at {t:.3f}", inst)
+            for s in (a, b):
+                ion_free[occupant[s]] = t + dur
+
+        else:  # single-site native operation
+            if len(inst.sites) != 1:
+                raise CircuitValidityError(f"{inst.name} takes exactly one qsite", inst)
+            (s,) = inst.sites
+            ion = occupant.get(s)
+            if ion is None:
+                raise CircuitValidityError(f"{inst.name} on unoccupied site {s}", inst)
+            if ion_free.get(ion, 0.0) > t + _EPS:
+                raise CircuitValidityError(f"ion {ion} busy at {t:.3f}", inst)
+            ion_free[ion] = t + dur
+
+        report.makespan = max(report.makespan, t + dur)
+
+    report.final_occupancy = occupant
+    return report

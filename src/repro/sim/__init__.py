@@ -1,0 +1,33 @@
+"""Quasi-Clifford simulation of TISCC hardware circuits (ORQCS substitute).
+
+The paper verifies compiled circuits with the Oak Ridge Quasi-Clifford
+Simulator (ORQCS, §4): a parser and hardware model that interprets TISCC
+circuits — gates acting on qsites of the trapped-ion grid — as unitaries on
+a quantum state, returning Pauli-string expectation values, simulated
+measurement outcomes, and per-layer stabilizer generators.  ORQCS is not
+public, so this package re-implements the same interface:
+
+* :mod:`repro.sim.tableau` — vectorized Aaronson-Gottesman stabilizer tableau;
+* :mod:`repro.sim.dense` — exact statevector reference for small systems;
+* :mod:`repro.sim.gates` — the native-gate semantics shared by both backends;
+* :mod:`repro.sim.parser` — text-format circuit parser;
+* :mod:`repro.sim.interpreter` — replays circuits, tracking ion movement;
+* :mod:`repro.sim.quasi` — quasi-probability Monte Carlo over Clifford
+  channels for the non-Clifford ``Z_pi/8`` gate (§4.1).
+"""
+
+from repro.sim.tableau import StabilizerTableau
+from repro.sim.dense import DenseSimulator
+from repro.sim.parser import parse_circuit
+from repro.sim.interpreter import CircuitInterpreter, RunResult
+from repro.sim.quasi import QuasiCliffordSampler, channel_decomposition
+
+__all__ = [
+    "StabilizerTableau",
+    "DenseSimulator",
+    "parse_circuit",
+    "CircuitInterpreter",
+    "RunResult",
+    "QuasiCliffordSampler",
+    "channel_decomposition",
+]

@@ -1,0 +1,119 @@
+"""Exact dense statevector simulator.
+
+Used as the reference backend: the stabilizer tableau is validated against it
+on random Clifford circuits, and gate decompositions in the hardware model
+are checked as exact unitaries.  Practical up to ~14 qubits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.code.pauli import PauliString
+from repro.sim.gates import PAULI_I, PAULI_X, PAULI_Y, PAULI_Z, unitary_for
+
+__all__ = ["DenseSimulator"]
+
+_PAULI_MAT = {"I": PAULI_I, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+
+class DenseSimulator:
+    """n-qubit statevector, initialized to |0...0>.
+
+    Qubit 0 is the most significant bit of the computational-basis index.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("need at least one qubit")
+        if n > 16:
+            raise ValueError("dense simulation beyond 16 qubits is not sensible")
+        self.n = n
+        self.state = np.zeros(2**n, dtype=complex)
+        self.state[0] = 1.0
+
+    # ------------------------------------------------------------- applying
+    def apply_matrix(self, u: np.ndarray, qubits: tuple[int, ...]) -> None:
+        k = len(qubits)
+        if u.shape != (2**k, 2**k):
+            raise ValueError(f"matrix shape {u.shape} does not match {k} qubits")
+        psi = self.state.reshape((2,) * self.n)
+        psi = np.moveaxis(psi, qubits, range(k))
+        shape = psi.shape
+        psi = u @ psi.reshape(2**k, -1)
+        psi = np.moveaxis(psi.reshape(shape), range(k), qubits)
+        self.state = np.ascontiguousarray(psi).reshape(-1)
+
+    def apply(self, name: str, qubits: tuple[int, ...]) -> None:
+        self.apply_matrix(unitary_for(name), qubits)
+
+    # ---------------------------------------------------------- measurement
+    def _prob_one(self, q: int) -> float:
+        psi = self.state.reshape((2,) * self.n)
+        sl = [slice(None)] * self.n
+        sl[q] = 1
+        return float(np.sum(np.abs(psi[tuple(sl)]) ** 2))
+
+    def measure(
+        self,
+        q: int,
+        rng: np.random.Generator | None = None,
+        forced: int | None = None,
+    ) -> tuple[int, bool]:
+        """Projective Z measurement; returns (outcome, deterministic)."""
+        p1 = self._prob_one(q)
+        deterministic = p1 < 1e-12 or p1 > 1 - 1e-12
+        if forced is not None:
+            outcome = int(forced)
+            prob = p1 if outcome else 1 - p1
+            if prob < 1e-12:
+                raise ValueError(f"forced outcome {forced} has zero probability")
+        elif deterministic:
+            outcome = int(p1 > 0.5)
+        else:
+            if rng is None:
+                raise ValueError("random measurement outcome requires an rng")
+            outcome = int(rng.random() < p1)
+        psi = self.state.reshape((2,) * self.n).copy()
+        sl = [slice(None)] * self.n
+        sl[q] = 1 - outcome
+        psi[tuple(sl)] = 0.0
+        norm = np.linalg.norm(psi)
+        self.state = (psi / norm).reshape(-1)
+        return outcome, deterministic
+
+    def reset(self, q: int, rng: np.random.Generator | None = None) -> None:
+        outcome, deterministic = self.measure(q, rng, forced=None if rng else 0)
+        if outcome == 1:
+            self.apply_matrix(PAULI_X, (q,))
+
+    # --------------------------------------------------------- expectations
+    def expectation(self, pauli: PauliString, index_of: dict | None = None) -> float:
+        """<psi| P |psi> including the string's i-phase (real for Hermitian P)."""
+        psi = self.state
+        phi = psi.copy()
+        for key, p in pauli.ops.items():
+            q = key if index_of is None else index_of[key]
+            phi = self._apply_to(phi, _PAULI_MAT[p], q)
+        val = np.vdot(psi, phi) * pauli.sign
+        if abs(val.imag) > 1e-9:
+            raise ValueError(f"non-real expectation {val} — Pauli not Hermitian?")
+        return float(val.real)
+
+    def _apply_to(self, state: np.ndarray, u: np.ndarray, q: int) -> np.ndarray:
+        psi = state.reshape((2,) * self.n)
+        psi = np.moveaxis(psi, q, 0)
+        shape = psi.shape
+        psi = (u @ psi.reshape(2, -1)).reshape(shape)
+        return np.ascontiguousarray(np.moveaxis(psi, 0, q)).reshape(-1)
+
+    def density_matrix(self, qubits: tuple[int, ...]) -> np.ndarray:
+        """Reduced density matrix on ``qubits`` (partial trace of the rest)."""
+        psi = self.state.reshape((2,) * self.n)
+        keep = list(qubits)
+        rest = [q for q in range(self.n) if q not in keep]
+        psi = np.transpose(psi, keep + rest).reshape(2 ** len(keep), -1)
+        return psi @ psi.conj().T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DenseSimulator n={self.n}>"

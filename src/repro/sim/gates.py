@@ -1,0 +1,102 @@
+"""Semantics of the native TISCC gate set for both simulator backends.
+
+Maps each native gate name (Table 5 plus signed-angle variants) to its exact
+unitary matrix (dense backend) and its tableau update (stabilizer backend).
+The convention throughout is ``P_theta = exp(-i * theta * P)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.tableau import StabilizerTableau
+
+__all__ = [
+    "PAULI_I",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "unitary_for",
+    "apply_to_tableau",
+    "CLIFFORD_GATES",
+    "NON_CLIFFORD_GATES",
+    "rotation_unitary",
+]
+
+PAULI_I = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+_AXIS = {"X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+
+def rotation_unitary(axis: str, theta: float) -> np.ndarray:
+    """``exp(-i theta P)`` for a single-qubit Pauli axis."""
+    p = _AXIS[axis]
+    return np.cos(theta) * PAULI_I - 1j * np.sin(theta) * p
+
+
+_ANGLES = {
+    "pi/2": np.pi / 2,
+    "pi/4": np.pi / 4,
+    "-pi/4": -np.pi / 4,
+    "pi/8": np.pi / 8,
+    "-pi/8": -np.pi / 8,
+}
+
+
+def _zz_unitary() -> np.ndarray:
+    zz = np.kron(PAULI_Z, PAULI_Z)
+    return np.cos(np.pi / 4) * np.eye(4) - 1j * np.sin(np.pi / 4) * zz
+
+
+_UNITARIES: dict[str, np.ndarray] = {"ZZ": _zz_unitary()}
+for _axis in "XYZ":
+    for _label, _theta in _ANGLES.items():
+        _UNITARIES[f"{_axis}_{_label}"] = rotation_unitary(_axis, _theta)
+
+#: Native gates with a Clifford action (everything except the pi/8 rotations).
+CLIFFORD_GATES = frozenset(
+    name for name in _UNITARIES if "pi/8" not in name
+)
+NON_CLIFFORD_GATES = frozenset({"Z_pi/8", "Z_-pi/8"})
+
+# Tableau dispatch: gate name -> StabilizerTableau method name.
+_TABLEAU_1Q: dict[str, str] = {
+    "X_pi/2": "pauli_x",
+    "Y_pi/2": "pauli_y",
+    "Z_pi/2": "pauli_z",
+    "X_pi/4": "sqrt_x",
+    "X_-pi/4": "sqrt_x_dag",
+    "Y_pi/4": "sqrt_y",
+    "Y_-pi/4": "sqrt_y_dag",
+    "Z_pi/4": "s",
+    "Z_-pi/4": "sdg",
+}
+
+
+def unitary_for(name: str) -> np.ndarray:
+    """Exact unitary for a native gate name (2x2 or 4x4)."""
+    try:
+        return _UNITARIES[name]
+    except KeyError:
+        raise ValueError(f"no unitary for operation {name!r}") from None
+
+
+def apply_to_tableau(tab: StabilizerTableau, name: str, qubits: tuple[int, ...]) -> None:
+    """Apply a native Clifford gate to the tableau.
+
+    ``Z_pi/8`` / ``Z_-pi/8`` are rejected here — the interpreter routes them
+    through the quasi-Clifford sampler (§4.1).
+    """
+    if name in _TABLEAU_1Q:
+        (a,) = qubits
+        getattr(tab, _TABLEAU_1Q[name])(a)
+    elif name == "ZZ":
+        a, b = qubits
+        tab.zz(a, b)
+    elif name in NON_CLIFFORD_GATES:
+        raise ValueError(f"{name} is non-Clifford; use the quasi-Clifford sampler")
+    else:
+        raise ValueError(f"unknown gate {name!r}")

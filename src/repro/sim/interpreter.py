@@ -1,0 +1,180 @@
+"""Replays TISCC hardware circuits on a quantum-state backend.
+
+The hardware-model half of the ORQCS substitute (§4): instructions act on
+*qsites* of the trapped-ion grid, so the interpreter tracks which ion sits
+where at every point in time (Move updates the occupancy) and resolves each
+gate's qsites to the ions — and hence tableau qubits — they hold.
+
+Non-Clifford ``Z_pi/8`` gates are replaced per-shot by one Clifford sampled
+from the quasi-probability decomposition of the T-gate channel, with the
+shot weight adjusted (§4.1); see :mod:`repro.sim.quasi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.code.pauli import PauliString
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.sim.gates import NON_CLIFFORD_GATES, apply_to_tableau
+from repro.sim.quasi import QuasiCliffordSampler
+from repro.sim.tableau import StabilizerTableau
+
+__all__ = ["CircuitInterpreter", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of replaying one circuit (one Monte-Carlo shot).
+
+    ``tableau`` holds the final state; ``ion_index`` maps ion id -> tableau
+    qubit; ``occupancy`` maps qsite -> ion at the end of the circuit.
+    ``weight`` is the quasi-probability shot weight (1.0 for pure Clifford
+    circuits).  ``outcomes`` maps measurement labels to 0/1 and
+    ``deterministic`` records which of those were forced by the state.
+    """
+
+    tableau: StabilizerTableau
+    ion_index: dict[int, int]
+    occupancy: dict[int, int]
+    outcomes: dict[str, int] = field(default_factory=dict)
+    deterministic: dict[str, bool] = field(default_factory=dict)
+    weight: float = 1.0
+    generator_snapshots: list[tuple[float, list[PauliString]]] = field(default_factory=list)
+
+    def qubit_of_site(self, site: int) -> int:
+        """Tableau qubit currently held at a qsite."""
+        ion = self.occupancy.get(site)
+        if ion is None:
+            raise KeyError(f"no ion at qsite {site} at end of circuit")
+        return self.ion_index[ion]
+
+    def expectation(self, pauli_over_sites: PauliString) -> int:
+        """<P> for a Pauli string keyed by qsites (end-of-circuit occupancy)."""
+        index_of = {
+            site: self.qubit_of_site(site) for site in pauli_over_sites.support
+        }
+        return self.tableau.expectation(pauli_over_sites, index_of)
+
+    def expectation_over_ions(self, pauli_over_ions: PauliString) -> int:
+        index_of = {ion: self.ion_index[ion] for ion in pauli_over_ions.support}
+        return self.tableau.expectation(pauli_over_ions, index_of)
+
+    def sign(self, label: str) -> int:
+        """Measurement outcome as a +/-1 eigenvalue sign."""
+        return 1 - 2 * self.outcomes[label]
+
+
+class CircuitInterpreter:
+    """Executes hardware circuits against a stabilizer tableau."""
+
+    def __init__(self, grid: GridManager, seed: int | None = None):
+        self.grid = grid
+        self.rng = np.random.default_rng(seed)
+        self.sampler = QuasiCliffordSampler()
+
+    def run(
+        self,
+        circuit: HardwareCircuit,
+        initial_occupancy: dict[int, int],
+        forced_outcomes: dict[str, int] | None = None,
+        snapshot_times: list[float] | None = None,
+        initial_state: RunResult | None = None,
+    ) -> RunResult:
+        """Replay ``circuit`` from a site -> ion occupancy map.
+
+        ``forced_outcomes`` pins specific measurement labels (for branch
+        verification); ``snapshot_times`` records stabilizer generators right
+        after the last instruction starting at-or-before each time (the §4.3
+        layer-by-layer check).  ``initial_state`` continues from a previous
+        run's tableau (occupancy is taken from it).
+        """
+        forced = forced_outcomes or {}
+        if initial_state is not None:
+            tableau = initial_state.tableau.copy()
+            ion_index = dict(initial_state.ion_index)
+            occupancy = dict(initial_state.occupancy)
+            weight = initial_state.weight
+            outcomes = dict(initial_state.outcomes)
+            deterministic = dict(initial_state.deterministic)
+        else:
+            ions = sorted(set(initial_occupancy.values()))
+            if len(ions) != len(initial_occupancy):
+                raise ValueError("occupancy maps two sites to one ion")
+            ion_index = {ion: k for k, ion in enumerate(ions)}
+            n_loads = sum(1 for i in circuit.instructions if i.name == "Load")
+            tableau = StabilizerTableau(max(1, len(ions) + n_loads))
+            occupancy = dict(initial_occupancy)
+            weight = 1.0
+            outcomes = {}
+            deterministic = {}
+
+        snaps: list[tuple[float, list[PauliString]]] = []
+        pending = sorted(snapshot_times or [])
+
+        instructions = circuit.sorted_instructions()
+        for idx, inst in enumerate(instructions):
+            qubits = []
+            for site in inst.sites:
+                if inst.name == "Move" and site == inst.sites[1]:
+                    continue  # move destination need not be occupied
+                if inst.name == "Load":
+                    continue  # load target must be *empty*
+                ion = occupancy.get(site)
+                if ion is None:
+                    raise ValueError(
+                        f"instruction {inst.to_text()!r} targets empty qsite {site}"
+                    )
+                qubits.append(ion_index[ion])
+
+            if inst.name == "Load":
+                (site,) = inst.sites
+                if site in occupancy:
+                    raise ValueError(f"Load onto occupied qsite {site}")
+                new_ion = (max(ion_index) + 1) if ion_index else 0
+                while new_ion in ion_index:
+                    new_ion += 1
+                ion_index[new_ion] = len(ion_index)
+                if ion_index[new_ion] >= tableau.n:
+                    raise ValueError("more Load instructions than tableau slots")
+                occupancy[site] = new_ion
+            elif inst.name == "Move":
+                src, dst = inst.sites
+                if dst in occupancy:
+                    raise ValueError(f"move into occupied qsite {dst}")
+                occupancy[dst] = occupancy.pop(src)
+            elif inst.name == "Prepare_Z":
+                tableau.reset(qubits[0], self.rng)
+            elif inst.name == "Measure_Z":
+                label = inst.label or f"m?{idx}"
+                outcome, det = tableau.measure(
+                    qubits[0], self.rng, forced.get(label)
+                )
+                outcomes[label] = outcome
+                deterministic[label] = det
+            elif inst.name in NON_CLIFFORD_GATES:
+                gate, w = self.sampler.sample(inst.name, self.rng)
+                weight *= w
+                if gate is not None:
+                    apply_to_tableau(tableau, gate, tuple(qubits))
+            else:
+                apply_to_tableau(tableau, inst.name, tuple(qubits))
+
+            while pending and (
+                idx + 1 == len(instructions) or instructions[idx + 1].t > pending[0]
+            ):
+                snaps.append((pending.pop(0), tableau.stabilizer_generators()))
+
+        result = RunResult(
+            tableau=tableau,
+            ion_index=ion_index,
+            occupancy=occupancy,
+            outcomes=outcomes,
+            deterministic=deterministic,
+            weight=weight,
+            generator_snapshots=snaps,
+        )
+        return result

@@ -1,0 +1,95 @@
+"""Parser for the TISCC circuit text format.
+
+ORQCS "implements a parser and hardware model for the TISCC instruction set"
+(§4); this module is the parser half.  The format, one instruction per line:
+
+    <name> <qsite> [<qsite>] @<start_us> [-> <label>]
+
+Comment lines start with ``#``; blank lines are ignored.  Durations are
+re-derived from the gate-time table (moves distinguish zone hops from
+junction crossings by grid geometry, which is why parsing needs the grid).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager, JUNCTION_HOP_US, MOVE_US
+from repro.hardware.model import GATE_TIMES_US
+
+__all__ = ["parse_circuit", "ParseError"]
+
+
+class ParseError(ValueError):
+    """A circuit text line could not be interpreted."""
+
+    def __init__(self, lineno: int, line: str, reason: str):
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+
+
+def _move_duration(grid: GridManager, src: int, dst: int) -> float:
+    if dst in grid.neighbors(src):
+        return MOVE_US
+    if grid.junction_between(src, dst) is not None:
+        return JUNCTION_HOP_US
+    raise ValueError(f"{src} -> {dst} is not a legal hop")
+
+
+def parse_circuit(text: str, grid: GridManager) -> HardwareCircuit:
+    """Parse circuit text back into a :class:`HardwareCircuit`."""
+    circuit = HardwareCircuit()
+    n_measures = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        label = None
+        if "->" in line:
+            line, _, label_part = line.partition("->")
+            label = label_part.strip()
+            if not label:
+                raise ParseError(lineno, raw, "empty measurement label")
+            line = line.strip()
+        parts = line.split()
+        if len(parts) < 2 or not parts[-1].startswith("@"):
+            raise ParseError(lineno, raw, "expected '<name> <sites...> @<t>'")
+        name = parts[0]
+        try:
+            t = float(parts[-1][1:])
+        except ValueError:
+            raise ParseError(lineno, raw, f"bad timestamp {parts[-1]!r}") from None
+        try:
+            sites = tuple(int(s) for s in parts[1:-1])
+        except ValueError:
+            raise ParseError(lineno, raw, "qsites must be integers") from None
+
+        if name == "Move":
+            if len(sites) != 2:
+                raise ParseError(lineno, raw, "Move takes two qsites")
+            try:
+                duration = _move_duration(grid, *sites)
+            except ValueError as exc:
+                raise ParseError(lineno, raw, str(exc)) from None
+        elif name == "Load":
+            if len(sites) != 1:
+                raise ParseError(lineno, raw, "Load takes one qsite")
+            duration = 0.0
+        elif name == "ZZ":
+            if len(sites) != 2:
+                raise ParseError(lineno, raw, "ZZ takes two qsites")
+            duration = GATE_TIMES_US["ZZ"]
+        elif name in GATE_TIMES_US:
+            if len(sites) != 1:
+                raise ParseError(lineno, raw, f"{name} takes one qsite")
+            duration = GATE_TIMES_US[name]
+        else:
+            raise ParseError(lineno, raw, f"unknown operation {name!r}")
+
+        if label is not None and name != "Measure_Z":
+            raise ParseError(lineno, raw, "only Measure_Z carries an outcome label")
+        if name == "Measure_Z":
+            if label is None:
+                label = f"m{n_measures}"
+            n_measures += 1
+        circuit.append(name, sites, t, duration, label)
+    return circuit

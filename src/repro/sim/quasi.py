@@ -1,0 +1,102 @@
+"""Quasi-probability Monte Carlo over Clifford channels (paper §4.1).
+
+"Each non-Clifford gate is represented by a decomposition of Clifford gates,
+and in each sample, only one of these Clifford gates is randomly chosen to
+be simulated.  The probability that a Clifford gate is selected is
+determined by the decomposition coefficients, and the weight of the sample
+is adjusted based on the probability of the selected Clifford gate."
+
+For a Z-axis rotation ``T = exp(-i theta Z)`` the channel decomposes exactly
+over three Clifford channels::
+
+    T rho T^dag = c_I rho + c_Z (Z rho Z) + c_S (S rho S^dag)
+
+with (derived by expanding the S channel and matching commutator terms):
+
+    c_S = sin(2 theta),
+    c_I = cos^2(theta) - sin(2 theta) / 2,
+    c_Z = sin^2(theta) - sin(2 theta) / 2.
+
+For ``theta = pi/8`` this is ``(0.5, sqrt(2)/2, ~-0.207)`` — one negative
+coefficient, total negativity gamma = sum |c_k| = sqrt(2), the known
+quasi-probability cost of a T gate.  Negative angles use ``S^dag`` instead.
+The estimator ``<P> = E[ weight * <P>_shot ]`` is unbiased; its variance is
+amplified by ``gamma^2`` per T gate, hence the shot counts in §4.1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["channel_decomposition", "QuasiCliffordSampler", "estimate_expectation"]
+
+
+def channel_decomposition(theta: float) -> list[tuple[str | None, float]]:
+    """Quasi-probability weights for the ``exp(-i theta Z)`` channel.
+
+    Returns ``[(gate, coefficient), ...]`` where gate is ``None`` (identity),
+    ``"Z_pi/2"`` (Pauli Z), or ``"Z_pi/4"`` / ``"Z_-pi/4"`` (S / S-dagger).
+    Coefficients sum to 1 and reproduce the channel exactly.
+    """
+    s2 = math.sin(2 * theta)
+    s_gate = "Z_pi/4" if theta >= 0 else "Z_-pi/4"
+    c_i = math.cos(theta) ** 2 - abs(s2) / 2
+    c_z = math.sin(theta) ** 2 - abs(s2) / 2
+    c_s = abs(s2)
+    return [(None, c_i), ("Z_pi/2", c_z), (s_gate, c_s)]
+
+
+class QuasiCliffordSampler:
+    """Per-shot sampler replacing a non-Clifford gate by one Clifford."""
+
+    _THETAS = {"Z_pi/8": math.pi / 8, "Z_-pi/8": -math.pi / 8}
+
+    def __init__(self) -> None:
+        self._cache: dict[str, tuple[list[str | None], np.ndarray, np.ndarray, float]] = {}
+
+    def negativity(self, name: str) -> float:
+        """gamma = sum |c_k| for the gate's channel decomposition."""
+        return self._table(name)[3]
+
+    def _table(self, name: str):
+        if name not in self._cache:
+            theta = self._THETAS.get(name)
+            if theta is None:
+                raise ValueError(f"{name!r} is not a supported non-Clifford gate")
+            decomp = channel_decomposition(theta)
+            gates = [g for g, _ in decomp]
+            coeffs = np.array([c for _, c in decomp])
+            gamma = float(np.abs(coeffs).sum())
+            probs = np.abs(coeffs) / gamma
+            self._cache[name] = (gates, coeffs, probs, gamma)
+        return self._cache[name]
+
+    def sample(
+        self, name: str, rng: np.random.Generator
+    ) -> tuple[str | None, float]:
+        """Pick one Clifford substitute; returns (gate_or_None, weight factor).
+
+        weight factor = gamma * sign(c_k), so that averaging
+        ``weight * estimate`` over shots is unbiased for the true channel.
+        """
+        gates, coeffs, probs, gamma = self._table(name)
+        k = int(rng.choice(len(gates), p=probs))
+        return gates[k], gamma * float(np.sign(coeffs[k]))
+
+
+def estimate_expectation(run_shot, n_shots: int) -> tuple[float, float]:
+    """Monte-Carlo mean and standard error of ``weight * value`` over shots.
+
+    ``run_shot(k)`` must return ``(value, weight)`` for shot ``k``.
+    """
+    if n_shots < 2:
+        raise ValueError("need at least two shots for an error estimate")
+    samples = np.empty(n_shots)
+    for k in range(n_shots):
+        value, weight = run_shot(k)
+        samples[k] = weight * value
+    mean = float(samples.mean())
+    stderr = float(samples.std(ddof=1) / math.sqrt(n_shots))
+    return mean, stderr

@@ -1,0 +1,21 @@
+"""Shared low-level utilities: GF(2) linear algebra and grid geometry."""
+
+from repro.util.gf2 import (
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+    gf2_nullspace,
+    gf2_row_reduce_tracked,
+    gf2_in_rowspace,
+    gf2_decompose,
+)
+
+__all__ = [
+    "gf2_rank",
+    "gf2_rref",
+    "gf2_solve",
+    "gf2_nullspace",
+    "gf2_row_reduce_tracked",
+    "gf2_in_rowspace",
+    "gf2_decompose",
+]

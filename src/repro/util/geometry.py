@@ -1,0 +1,52 @@
+"""Fine-grid geometry shared by the hardware and surface-code layers.
+
+The trapped-ion architecture (paper §3.1) tiles a repeating unit
+``{M, O, M, J, M, O, M}`` — two three-zone straight segments, one pointing
+right and one pointing down, joined by a junction — over the plane.  In fine
+coordinates with a 420 µm pitch this means a site exists at ``(r, c)`` iff
+``r % 4 == 0`` or ``c % 4 == 0``:
+
+* ``J`` (junction) when both are ``0 (mod 4)``;
+* ``O`` (operation zone) at the centre of each segment
+  (``r % 4 == 0 and c % 4 == 2`` or ``c % 4 == 0 and r % 4 == 2``);
+* ``M`` (memory zone) at the remaining lattice positions.
+
+qsite indices are ``r * width + c`` over the fine grid.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["SiteType", "site_type_at", "site_exists", "ZONE_PITCH_M"]
+
+#: Trapping-zone width (fine-grid pitch) in metres — paper §3.2: 420 µm.
+ZONE_PITCH_M = 420e-6
+
+
+class SiteType(str, Enum):
+    """Role of a fine-grid site in the trapped-ion architecture."""
+
+    MEMORY = "M"
+    OPERATION = "O"
+    JUNCTION = "J"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SiteType.{self.name}"
+
+
+def site_exists(r: int, c: int) -> bool:
+    """A fine-grid position holds a site iff it lies on a segment or junction."""
+    return r % 4 == 0 or c % 4 == 0
+
+
+def site_type_at(r: int, c: int) -> SiteType:
+    """Classify the fine-grid position ``(r, c)``; raises off-lattice."""
+    rm, cm = r % 4, c % 4
+    if rm == 0 and cm == 0:
+        return SiteType.JUNCTION
+    if rm == 0:
+        return SiteType.OPERATION if cm == 2 else SiteType.MEMORY
+    if cm == 0:
+        return SiteType.OPERATION if rm == 2 else SiteType.MEMORY
+    raise ValueError(f"({r}, {c}) is not a lattice site (cell interior)")

@@ -1,0 +1,147 @@
+"""Dense GF(2) linear algebra on uint8 NumPy arrays.
+
+Every routine takes and returns arrays whose entries are 0/1 (dtype uint8).
+These are the workhorses behind parity-check-matrix maintenance in
+:class:`repro.code.logical_qubit.LogicalQubit` and behind Pauli-string
+membership tests in the stabilizer simulator.  Matrices here are small
+(a few hundred rows at most), so a dense vectorized implementation is the
+right trade-off per the make-it-work-first optimization workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gf2_rank",
+    "gf2_rref",
+    "gf2_solve",
+    "gf2_nullspace",
+    "gf2_row_reduce_tracked",
+    "gf2_in_rowspace",
+    "gf2_decompose",
+]
+
+
+def _as_gf2(a: np.ndarray) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.uint8) & 1
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return arr
+
+
+def gf2_rref(a: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns ``(rref_matrix, pivot_columns)``.  Zero rows are kept (trailing).
+    """
+    m = _as_gf2(a).copy()
+    rows, cols = m.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        hits = np.nonzero(m[r:, c])[0]
+        if hits.size == 0:
+            continue
+        pivot = r + int(hits[0])
+        if pivot != r:
+            m[[r, pivot]] = m[[pivot, r]]
+        # Clear column c everywhere except the pivot row (vectorized XOR).
+        mask = m[:, c].astype(bool)
+        mask[r] = False
+        m[mask] ^= m[r]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def gf2_rank(a: np.ndarray) -> int:
+    """Rank of ``a`` over GF(2)."""
+    _, pivots = gf2_rref(a)
+    return len(pivots)
+
+
+def gf2_row_reduce_tracked(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Row reduce ``a`` while tracking the transformation.
+
+    Returns ``(rref, T, pivots)`` with ``T @ a == rref (mod 2)``.  ``T`` is the
+    product of the elementary row operations, useful to express each reduced
+    row as a combination of the original rows (e.g. to write a stabilizer as a
+    product of the original generators).
+    """
+    m = _as_gf2(a).copy()
+    rows, cols = m.shape
+    t = np.eye(rows, dtype=np.uint8)
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        hits = np.nonzero(m[r:, c])[0]
+        if hits.size == 0:
+            continue
+        pivot = r + int(hits[0])
+        if pivot != r:
+            m[[r, pivot]] = m[[pivot, r]]
+            t[[r, pivot]] = t[[pivot, r]]
+        mask = m[:, c].astype(bool)
+        mask[r] = False
+        m[mask] ^= m[r]
+        t[mask] ^= t[r]
+        pivots.append(c)
+        r += 1
+    return m, t, pivots
+
+
+def gf2_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """Solve ``x @ a == b`` over GF(2) for a row vector ``x``.
+
+    ``a`` is (rows x cols), ``b`` is (cols,).  Returns one solution as a
+    uint8 vector of length ``rows`` or ``None`` when ``b`` is not in the
+    row space of ``a``.
+    """
+    a = _as_gf2(a)
+    b = np.asarray(b, dtype=np.uint8) & 1
+    if b.shape != (a.shape[1],):
+        raise ValueError(f"shape mismatch: a is {a.shape}, b is {b.shape}")
+    rref, t, pivots = gf2_row_reduce_tracked(a)
+    x = np.zeros(a.shape[0], dtype=np.uint8)
+    residual = b.copy()
+    for row_idx, col in enumerate(pivots):
+        if residual[col]:
+            residual ^= rref[row_idx]
+            x ^= t[row_idx]
+    if residual.any():
+        return None
+    return x
+
+
+def gf2_in_rowspace(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when row vector ``b`` lies in the GF(2) row space of ``a``."""
+    return gf2_solve(a, b) is not None
+
+
+def gf2_decompose(a: np.ndarray, b: np.ndarray) -> np.ndarray | None:
+    """Alias of :func:`gf2_solve`: coefficients expressing ``b`` over rows of ``a``."""
+    return gf2_solve(a, b)
+
+
+def gf2_nullspace(a: np.ndarray) -> np.ndarray:
+    """Basis of the right null space: rows ``v`` with ``a @ v == 0 (mod 2)``.
+
+    Returns an array of shape (dim_null, cols); empty (0, cols) when trivial.
+    """
+    a = _as_gf2(a)
+    rows, cols = a.shape
+    rref, pivots = gf2_rref(a)
+    pivot_set = set(pivots)
+    free_cols = [c for c in range(cols) if c not in pivot_set]
+    basis = np.zeros((len(free_cols), cols), dtype=np.uint8)
+    for k, fc in enumerate(free_cols):
+        basis[k, fc] = 1
+        for row_idx, pc in enumerate(pivots):
+            if rref[row_idx, fc]:
+                basis[k, pc] = 1
+    return basis

@@ -1,0 +1,36 @@
+"""Verification of compiled circuits (paper §4).
+
+State and process tomography in the logical subspace
+(:mod:`repro.verify.tomography`, following Nielsen & Chuang), Pauli-frame
+helpers for combining measurement outcomes with logical-operator
+expectations (:mod:`repro.verify.frames`, §4.5), and the end-to-end
+verification protocols used in §4.2-§4.4
+(:mod:`repro.verify.protocols`).
+"""
+
+from repro.verify.tomography import (
+    state_tomography_1q,
+    process_tomography_1q,
+    chi_matrix_1q,
+    fidelity,
+    IDEAL_CHI,
+)
+from repro.verify.frames import corrected_expectation, logical_state_vector
+from repro.verify.protocols import (
+    verify_preparation,
+    verify_one_tile_identity,
+    verify_process,
+)
+
+__all__ = [
+    "state_tomography_1q",
+    "process_tomography_1q",
+    "chi_matrix_1q",
+    "fidelity",
+    "IDEAL_CHI",
+    "corrected_expectation",
+    "logical_state_vector",
+    "verify_preparation",
+    "verify_one_tile_identity",
+    "verify_process",
+]

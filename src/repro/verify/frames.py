@@ -1,0 +1,47 @@
+"""Pauli-frame post-processing (paper §4.5).
+
+"One typically tracks the Pauli frame to reconstruct logical operators post
+hoc ... TISCC gives users the needed information to combine measurement
+outcomes with expectation values of logical operators to obtain correct
+results."  The ledgers live on
+:class:`~repro.code.logical_qubit.TrackedOperator`; these helpers apply them
+to simulation results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.code.logical_qubit import LogicalQubit, TrackedOperator
+from repro.sim.interpreter import RunResult
+
+__all__ = ["corrected_expectation", "logical_state_vector", "logical_pauli_vector"]
+
+
+def corrected_expectation(result: RunResult, op: TrackedOperator) -> float:
+    """<L> = raw expectation of the representative x product of ledger signs."""
+    value = float(result.expectation(op.pauli))
+    for label in op.corrections:
+        value *= result.sign(label)
+    return value
+
+
+def logical_pauli_vector(result: RunResult, lq: LogicalQubit) -> tuple[float, float, float]:
+    """(<X_L>, <Y_L>, <Z_L>) with all ledger corrections applied."""
+    return (
+        corrected_expectation(result, lq.logical_x),
+        corrected_expectation(result, lq.logical_y()),
+        corrected_expectation(result, lq.logical_z),
+    )
+
+
+def logical_state_vector(result: RunResult, lq: LogicalQubit) -> np.ndarray:
+    """Logical single-qubit density matrix from Pauli expectations.
+
+    rho = (I + <X>X + <Y>Y + <Z>Z) / 2 — the §4.2 state-tomography
+    reconstruction (Nielsen & Chuang) applied to the logical subspace.
+    """
+    from repro.sim.gates import PAULI_I, PAULI_X, PAULI_Y, PAULI_Z
+
+    ex, ey, ez = logical_pauli_vector(result, lq)
+    return (PAULI_I + ex * PAULI_X + ey * PAULI_Y + ez * PAULI_Z) / 2

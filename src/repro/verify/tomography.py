@@ -1,0 +1,109 @@
+"""Quantum state and process tomography (paper §4.2-§4.4, Nielsen & Chuang).
+
+Single-qubit process tomography by linear inversion: prepare the
+informationally complete inputs {|0>, |1>, |+>, |+i>}, reconstruct each
+output density matrix from logical Pauli expectations, and assemble the chi
+matrix in the {I, X, Y, Z} basis.  Since the stabilizer backend returns
+exact expectations, ideal operations reproduce their chi matrices exactly
+(process fidelity 1 up to floating point), as in §4: "All verification is
+performed in the absence of simulated hardware errors."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.gates import PAULI_I, PAULI_X, PAULI_Y, PAULI_Z
+
+__all__ = [
+    "state_tomography_1q",
+    "process_tomography_1q",
+    "chi_matrix_1q",
+    "fidelity",
+    "IDEAL_CHI",
+    "INPUT_STATES_1Q",
+]
+
+_PAULIS = (PAULI_I, PAULI_X, PAULI_Y, PAULI_Z)
+
+#: Informationally complete single-qubit input states (density matrices).
+INPUT_STATES_1Q: dict[str, np.ndarray] = {
+    "0": np.array([[1, 0], [0, 0]], dtype=complex),
+    "1": np.array([[0, 0], [0, 1]], dtype=complex),
+    "+": np.array([[1, 1], [1, 1]], dtype=complex) / 2,
+    "+i": np.array([[1, -1j], [1j, 1]], dtype=complex) / 2,
+}
+
+
+def state_tomography_1q(ex: float, ey: float, ez: float) -> np.ndarray:
+    """Density matrix from Pauli expectations (§4.2 reconstruction)."""
+    return (PAULI_I + ex * PAULI_X + ey * PAULI_Y + ez * PAULI_Z) / 2
+
+
+def process_tomography_1q(outputs: dict[str, np.ndarray]) -> np.ndarray:
+    """Linear-inversion process map from the four canonical outputs.
+
+    ``outputs[k]`` is the reconstructed output density matrix for input
+    ``INPUT_STATES_1Q[k]``.  Returns the process as a 4x4 superoperator
+    acting on vectorized density matrices (column stacking).
+    """
+    required = set(INPUT_STATES_1Q)
+    if set(outputs) != required:
+        raise ValueError(f"need outputs for inputs {sorted(required)}")
+    # Build E(rho) on the matrix-unit basis |i><j| by linearity:
+    # E(|0><0|) = E(rho_0); E(|1><1|) = E(rho_1);
+    # E(|0><1|) = E(rho_+) + i E(rho_{+i}) - (1+i)/2 (E(rho_0)+E(rho_1)).
+    e00 = outputs["0"]
+    e11 = outputs["1"]
+    e01 = outputs["+"] + 1j * outputs["+i"] - (1 + 1j) / 2 * (e00 + e11)
+    e10 = e01.conj().T
+    basis_out = {(0, 0): e00, (0, 1): e01, (1, 0): e10, (1, 1): e11}
+    s = np.zeros((4, 4), dtype=complex)
+    for (i, j), mat in basis_out.items():
+        col = np.zeros((2, 2), dtype=complex)
+        col[i, j] = 1
+        s[:, np.ravel_multi_index((j, i), (2, 2))] = mat.reshape(-1, order="F")
+    return s
+
+
+def chi_matrix_1q(outputs: dict[str, np.ndarray]) -> np.ndarray:
+    """Chi (process) matrix in the {I, X, Y, Z} basis (Nielsen & Chuang 8.4.2).
+
+    E(rho) = sum_{mn} chi_{mn} P_m rho P_n^dag, reconstructed by linear
+    inversion from the superoperator.
+    """
+    s = process_tomography_1q(outputs)
+    # Transfer matrix from chi: S = sum_mn chi_mn (P_n^T (x) P_m) with column
+    # stacking; invert via the orthogonality of the Pauli basis.
+    chi = np.zeros((4, 4), dtype=complex)
+    for m, pm in enumerate(_PAULIS):
+        for n, pn in enumerate(_PAULIS):
+            basis_op = np.kron(pn.conj(), pm)
+            chi[m, n] = np.trace(basis_op.conj().T @ s) / 4
+    return chi
+
+
+def chi_of_unitary(u: np.ndarray) -> np.ndarray:
+    """Ideal chi matrix of a single-qubit unitary."""
+    coeffs = np.array([np.trace(p.conj().T @ u) / 2 for p in _PAULIS])
+    return np.outer(coeffs, coeffs.conj())
+
+
+def fidelity(chi: np.ndarray, chi_ideal: np.ndarray) -> float:
+    """Process fidelity Tr[chi chi_ideal] / (Tr chi  Tr chi_ideal)."""
+    num = np.trace(chi @ chi_ideal).real
+    den = (np.trace(chi) * np.trace(chi_ideal)).real
+    if den <= 0:
+        raise ValueError("degenerate chi matrices")
+    return float(num / den)
+
+
+#: Ideal chi matrices of the verified one-tile operations.
+IDEAL_CHI: dict[str, np.ndarray] = {
+    "I": chi_of_unitary(PAULI_I),
+    "X": chi_of_unitary(PAULI_X),
+    "Y": chi_of_unitary(PAULI_Y),
+    "Z": chi_of_unitary(PAULI_Z),
+    "H": chi_of_unitary((PAULI_X + PAULI_Z) / np.sqrt(2)),
+    "S": chi_of_unitary(np.diag([1, 1j])),
+}

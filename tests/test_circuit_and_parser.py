@@ -1,0 +1,114 @@
+"""HardwareCircuit container semantics and the circuit text parser."""
+
+import pytest
+
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager, JUNCTION_HOP_US, MOVE_US
+from repro.sim.parser import ParseError, parse_circuit
+
+
+class TestCircuit:
+    def test_append_and_len(self):
+        c = HardwareCircuit()
+        c.append("Prepare_Z", (5,), 0.0, 10.0)
+        assert len(c) == 1
+
+    def test_sorted_by_time(self):
+        c = HardwareCircuit()
+        c.append("X_pi/2", (1,), 50.0, 10.0)
+        c.append("Prepare_Z", (2,), 0.0, 10.0)
+        names = [i.name for i in c.sorted_instructions()]
+        assert names == ["Prepare_Z", "X_pi/2"]
+
+    def test_load_sorts_first_at_equal_time(self):
+        c = HardwareCircuit()
+        c.append("X_pi/2", (1,), 0.0, 10.0)
+        c.append("Load", (1,), 0.0, 0.0)
+        assert c.sorted_instructions()[0].name == "Load"
+
+    def test_makespan(self):
+        c = HardwareCircuit()
+        c.append("ZZ", (1, 2), 10.0, 2000.0)
+        assert c.makespan == pytest.approx(2010.0)
+
+    def test_gate_histogram_and_count(self):
+        c = HardwareCircuit()
+        c.append("Move", (1, 2), 0.0, MOVE_US)
+        c.append("Move", (2, 3), 10.0, MOVE_US)
+        c.append("ZZ", (3, 4), 20.0, 2000.0)
+        assert c.gate_histogram() == {"Move": 2, "ZZ": 1}
+        assert c.count("Move") == 2
+
+    def test_measure_labels(self):
+        c = HardwareCircuit()
+        assert c.new_measure_label() == "m0"
+        assert c.new_measure_label() == "m1"
+
+    def test_used_sites(self):
+        c = HardwareCircuit()
+        c.append("ZZ", (7, 8), 0.0, 2000.0)
+        assert c.used_sites() == {7, 8}
+
+    def test_extend(self):
+        a, b = HardwareCircuit(), HardwareCircuit()
+        a.append("Prepare_Z", (1,), 0.0, 10.0)
+        b.append("Measure_Z", (1,), 20.0, 120.0, label="m0")
+        a.extend(b)
+        assert len(a) == 2
+        assert a.measurements()[0].label == "m0"
+
+
+class TestParser:
+    def setup_method(self):
+        self.grid = GridManager(2, 2)
+
+    def test_roundtrip(self):
+        c = HardwareCircuit()
+        c.append("Prepare_Z", (self.grid.index(0, 1),), 0.0, 10.0)
+        c.append("Y_pi/4", (self.grid.index(0, 1),), 10.0, 10.0)
+        c.append(
+            "Move", (self.grid.index(0, 1), self.grid.index(0, 2)), 20.0, MOVE_US
+        )
+        c.append("Measure_Z", (self.grid.index(0, 2),), 30.0, 120.0, label="m0")
+        parsed = parse_circuit(c.to_text(header="test"), self.grid)
+        original = c.sorted_instructions()
+        recovered = parsed.sorted_instructions()
+        assert len(original) == len(recovered)
+        for o, r in zip(original, recovered):
+            assert (o.name, o.sites, o.t, o.duration, o.label) == (
+                r.name, r.sites, r.t, r.duration, r.label,
+            )
+
+    def test_junction_move_duration_recovered(self):
+        a, b = self.grid.index(0, 3), self.grid.index(0, 5)
+        text = f"Move {a} {b} @0.000\n"
+        parsed = parse_circuit(text, self.grid)
+        assert parsed.instructions[0].duration == pytest.approx(JUNCTION_HOP_US)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\nPrepare_Z 1 @0.000\n"
+        assert len(parse_circuit(text, self.grid)) == 1
+
+    def test_load_parses(self):
+        assert parse_circuit("Load 1 @0.000\n", self.grid).instructions[0].duration == 0.0
+
+    def test_bad_hop_rejected(self):
+        a, b = self.grid.index(0, 1), self.grid.index(0, 3)
+        with pytest.raises(ParseError):
+            parse_circuit(f"Move {a} {b} @0.000\n", self.grid)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_circuit("Hadamard 1 @0.000\n", self.grid)
+
+    def test_missing_timestamp_rejected(self):
+        with pytest.raises(ParseError):
+            parse_circuit("Prepare_Z 1\n", self.grid)
+
+    def test_label_only_on_measure(self):
+        with pytest.raises(ParseError):
+            parse_circuit("Prepare_Z 1 @0.0 -> m0\n", self.grid)
+
+    def test_measure_gets_default_label(self):
+        parsed = parse_circuit("Measure_Z 1 @0.000\n", self.grid)
+        assert parsed.instructions[0].label == "m0"

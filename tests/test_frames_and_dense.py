@@ -1,0 +1,96 @@
+"""Pauli-frame helpers and the dense reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.code.pauli import PauliString
+from repro.sim.dense import DenseSimulator
+from repro.verify.frames import corrected_expectation, logical_state_vector, logical_pauli_vector
+from tests.conftest import fresh_patch, simulate
+
+
+class TestDenseSimulator:
+    def test_initial_state(self):
+        sim = DenseSimulator(2)
+        assert sim.expectation(PauliString({0: "Z"})) == pytest.approx(1.0)
+
+    def test_apply_named_gates(self):
+        sim = DenseSimulator(1)
+        sim.apply("Y_pi/4", (0,))
+        assert sim.expectation(PauliString({0: "X"})) == pytest.approx(1.0)
+
+    def test_zz_entangles(self):
+        sim = DenseSimulator(2)
+        sim.apply("Y_pi/4", (0,))
+        sim.apply("Y_pi/4", (1,))
+        sim.apply("ZZ", (0, 1))
+        # (ZZ)_{pi/4}|++> is maximally entangled: single-qubit X vanishes.
+        assert sim.expectation(PauliString({0: "X"})) == pytest.approx(0.0, abs=1e-12)
+
+    def test_measurement_collapse(self):
+        sim = DenseSimulator(1)
+        sim.apply("Y_pi/4", (0,))
+        m, det = sim.measure(0, np.random.default_rng(0))
+        assert not det
+        m2, det2 = sim.measure(0, np.random.default_rng(1))
+        assert det2 and m2 == m
+
+    def test_forced_impossible_outcome(self):
+        sim = DenseSimulator(1)
+        with pytest.raises(ValueError):
+            sim.measure(0, forced=1)
+
+    def test_reset(self):
+        sim = DenseSimulator(1)
+        sim.apply("X_pi/2", (0,))
+        sim.reset(0, np.random.default_rng(0))
+        assert sim.expectation(PauliString({0: "Z"})) == pytest.approx(1.0)
+
+    def test_density_matrix(self):
+        sim = DenseSimulator(2)
+        sim.apply("Y_pi/4", (0,))
+        rho = sim.density_matrix((0,))
+        assert np.allclose(rho, np.ones((2, 2)) / 2)
+
+    def test_size_limits(self):
+        with pytest.raises(ValueError):
+            DenseSimulator(17)
+        with pytest.raises(ValueError):
+            DenseSimulator(0)
+
+    def test_non_hermitian_expectation_rejected(self):
+        sim = DenseSimulator(1)
+        sim.apply("Y_pi/4", (0,))  # |+>: <X> = 1, so <iX> is imaginary
+        with pytest.raises(ValueError):
+            sim.expectation(PauliString({0: "X"}, phase=1))
+
+
+class TestFrames:
+    def test_corrected_expectation_applies_ledger(self):
+        grid, _, lq, c, occ0 = fresh_patch(2, 2)
+        lq.prepare(c, basis="Z", rounds=1)
+        label = lq.measure_out_data_qubit(c, (0, 0), "Z")
+        res = simulate(grid, c, occ0, seed=1)
+        assert corrected_expectation(res, lq.logical_z) == 1.0
+
+    def test_logical_pauli_vector_of_zero_state(self):
+        grid, _, lq, c, occ0 = fresh_patch(2, 2)
+        lq.prepare(c, basis="Z", rounds=1)
+        res = simulate(grid, c, occ0, seed=2)
+        assert logical_pauli_vector(res, lq) == (0.0, 0.0, 1.0)
+
+    def test_logical_state_vector_density_matrix(self):
+        grid, _, lq, c, occ0 = fresh_patch(2, 2)
+        lq.inject_state(c, "Y", rounds=1)
+        res = simulate(grid, c, occ0, seed=3)
+        rho = logical_state_vector(res, lq)
+        ideal = np.array([[1, -1j], [1j, 1]]) / 2
+        assert np.allclose(rho, ideal)
+
+    def test_logical_y_ledger_merges_both(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        lq.logical_x.corrections.append("m0")
+        lq.logical_z.corrections.append("m1")
+        y = lq.logical_y()
+        assert set(y.corrections) >= {"m0", "m1"}

@@ -1,0 +1,193 @@
+"""Fine-grid geometry, GridManager navigation, occupancy, and scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager, JUNCTION_HOP_US, MOVE_US, SiteBlockedError
+from repro.util.geometry import SiteType, ZONE_PITCH_M, site_exists, site_type_at
+
+
+class TestGeometry:
+    def test_pitch_is_420_um(self):
+        assert ZONE_PITCH_M == pytest.approx(420e-6)
+
+    def test_repeating_unit(self):
+        # {M, O, M, J, M, O, M}: two straight segments joined by a junction.
+        assert site_type_at(0, 0) is SiteType.JUNCTION
+        assert site_type_at(0, 1) is SiteType.MEMORY
+        assert site_type_at(0, 2) is SiteType.OPERATION
+        assert site_type_at(0, 3) is SiteType.MEMORY
+        assert site_type_at(1, 0) is SiteType.MEMORY
+        assert site_type_at(2, 0) is SiteType.OPERATION
+        assert site_type_at(3, 0) is SiteType.MEMORY
+
+    def test_cell_interiors_do_not_exist(self):
+        assert not site_exists(1, 1)
+        assert not site_exists(2, 3)
+        with pytest.raises(ValueError):
+            site_type_at(1, 2)
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_classification_is_total_on_lattice(self, r, c):
+        if site_exists(r, c):
+            assert site_type_at(r, c) in SiteType
+
+
+class TestGridNavigation:
+    def test_dimensions(self):
+        g = GridManager(2, 3)
+        assert (g.height, g.width) == (9, 13)
+
+    def test_index_coord_roundtrip(self):
+        g = GridManager(3, 3)
+        for r, c in [(0, 0), (0, 5), (2, 4), (12, 12)]:
+            assert g.coords(g.index(r, c)) == (r, c)
+
+    def test_index_rejects_interior(self):
+        g = GridManager(2, 2)
+        with pytest.raises(ValueError):
+            g.index(1, 1)
+
+    def test_neighbors_of_junction(self):
+        g = GridManager(3, 3)
+        j = g.index(4, 4)
+        assert sorted(g.coords(s) for s in g.neighbors(j)) == [
+            (3, 4), (4, 3), (4, 5), (5, 4),
+        ]
+
+    def test_junction_between(self):
+        g = GridManager(2, 2)
+        a, b = g.index(0, 3), g.index(0, 5)
+        assert g.junction_between(a, b) == g.index(0, 4)
+        assert g.junction_between(a, g.index(0, 2)) is None
+
+    def test_gate_adjacency(self):
+        g = GridManager(2, 2)
+        assert g.gate_adjacent(g.index(0, 1), g.index(0, 2))
+        assert not g.gate_adjacent(g.index(0, 3), g.index(0, 5))  # across junction
+        assert not g.gate_adjacent(g.index(0, 3), g.index(0, 4))  # junction itself
+
+    def test_zones_in_bbox_counts(self):
+        g = GridManager(2, 2)
+        # One full repeating unit: 6 zones.
+        assert g.zones_in_bbox(0, 0, 3, 3) == 6
+
+
+class TestIons:
+    def test_add_and_lookup(self):
+        g = GridManager(2, 2)
+        site = g.index(0, 1)
+        ion = g.add_ion(site, "test")
+        assert g.ion_at(site) == ion
+        assert g.site_of(ion) == site
+        assert g.ion_tag(ion) == "test"
+
+    def test_no_ions_on_junctions(self):
+        g = GridManager(2, 2)
+        with pytest.raises(ValueError):
+            g.add_ion(g.index(0, 0))
+
+    def test_no_double_occupancy(self):
+        g = GridManager(2, 2)
+        g.add_ion(g.index(0, 1))
+        with pytest.raises(ValueError):
+            g.add_ion(g.index(0, 1))
+
+    def test_remove_ion(self):
+        g = GridManager(2, 2)
+        ion = g.add_ion(g.index(0, 1))
+        g.remove_ion(ion)
+        assert g.ion_at(g.index(0, 1)) is None
+
+
+class TestScheduling:
+    def test_zone_move_duration(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        ion = g.add_ion(g.index(0, 1))
+        t0, t1 = g.schedule_move(c, ion, g.index(0, 2))
+        assert t1 - t0 == pytest.approx(MOVE_US)
+
+    def test_junction_crossing_duration(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        ion = g.add_ion(g.index(0, 3))
+        t0, t1 = g.schedule_move(c, ion, g.index(0, 5))
+        assert t1 - t0 == pytest.approx(JUNCTION_HOP_US)
+        assert c.count("Move") == 1
+
+    def test_move_into_parked_raises(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        g.add_ion(g.index(0, 2))
+        ion = g.add_ion(g.index(0, 1))
+        with pytest.raises(SiteBlockedError):
+            g.schedule_move(c, ion, g.index(0, 2))
+
+    def test_junction_conflict_serialized_and_counted(self):
+        g = GridManager(3, 3)
+        c = HardwareCircuit()
+        # Two crossings through interior junction J(4,4) with disjoint arms.
+        a = g.add_ion(g.index(3, 4))
+        b = g.add_ion(g.index(4, 3))
+        g.schedule_move(c, a, g.index(5, 4))
+        assert g.junction_conflicts == 0
+        g.schedule_move(c, b, g.index(4, 5))
+        assert g.junction_conflicts == 1
+        moves = [i for i in c.sorted_instructions() if i.name == "Move"]
+        assert moves[1].t >= moves[0].t_end
+
+    def test_route_avoids_parked_ions(self):
+        g = GridManager(2, 2)
+        blocker_site = g.index(0, 5)
+        g.add_ion(blocker_site)
+        src, dst = g.index(0, 3), g.index(0, 7)
+        path = g.route(src, dst)
+        assert blocker_site not in path
+
+    def test_route_same_site(self):
+        g = GridManager(2, 2)
+        s = g.index(0, 1)
+        assert g.route(s, s) == [s]
+
+    def test_schedule_route_folds_junctions(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        ion = g.add_ion(g.index(0, 1))
+        path = [g.index(0, 1), g.index(0, 2), g.index(0, 3), g.index(0, 4), g.index(0, 5)]
+        g.schedule_route(c, ion, path)
+        assert g.site_of(ion) == g.index(0, 5)
+        assert c.count("Move") == 3  # two zone hops + one junction crossing
+
+    def test_gate2_requires_adjacency(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        a = g.add_ion(g.index(0, 1))
+        b = g.add_ion(g.index(0, 3))
+        with pytest.raises(ValueError):
+            g.schedule_gate2(c, "ZZ", a, b, 2000.0)
+
+    def test_sync_ions(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        a = g.add_ion(g.index(0, 1))
+        b = g.add_ion(g.index(4, 1))
+        g.schedule_gate1(c, "Measure_Z", a, 120.0)
+        t = g.sync_ions([a, b])
+        assert g.ion_ready(b) == t == pytest.approx(120.0)
+
+    def test_load_ion_emits_instruction(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        g.load_ion(c, g.index(0, 1))
+        assert c.count("Load") == 1
+        assert g.ion_at(g.index(0, 1)) is not None
+
+    def test_ensure_ion_reuses(self):
+        g = GridManager(2, 2)
+        c = HardwareCircuit()
+        ion = g.add_ion(g.index(0, 1))
+        assert g.ensure_ion(c, g.index(0, 1)) == ion
+        assert c.count("Load") == 0

@@ -1,0 +1,109 @@
+"""GF(2) linear algebra: unit and property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.gf2 import (
+    gf2_decompose,
+    gf2_in_rowspace,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_row_reduce_tracked,
+    gf2_rref,
+    gf2_solve,
+)
+
+
+def matrices(max_rows=8, max_cols=8):
+    return st.integers(1, max_rows).flatmap(
+        lambda r: st.integers(1, max_cols).flatmap(
+            lambda c: st.lists(
+                st.lists(st.integers(0, 1), min_size=c, max_size=c),
+                min_size=r,
+                max_size=r,
+            ).map(lambda rows: np.array(rows, dtype=np.uint8))
+        )
+    )
+
+
+class TestRref:
+    def test_identity(self):
+        m = np.eye(4, dtype=np.uint8)
+        rref, pivots = gf2_rref(m)
+        assert np.array_equal(rref, m)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_dependent_rows(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            gf2_rref(np.array([1, 0, 1]))
+
+    @given(matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rref_preserves_rowspace(self, m):
+        rref, pivots = gf2_rref(m)
+        assert gf2_rank(rref) == gf2_rank(m) == len(pivots)
+        for row in m:
+            assert gf2_in_rowspace(rref, row)
+
+    @given(matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_tracked_reduction_is_consistent(self, m):
+        rref, t, _ = gf2_row_reduce_tracked(m)
+        assert np.array_equal((t @ m) % 2, rref)
+
+
+class TestSolve:
+    def test_solves_combination(self):
+        a = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        b = np.array([1, 1, 0], dtype=np.uint8)
+        x = gf2_solve(a, b)
+        assert x is not None
+        assert np.array_equal((x @ a) % 2, b)
+
+    def test_unsolvable_returns_none(self):
+        a = np.array([[1, 0, 0]], dtype=np.uint8)
+        assert gf2_solve(a, np.array([0, 1, 0], dtype=np.uint8)) is None
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2_solve(np.eye(2, dtype=np.uint8), np.array([1, 0, 0], dtype=np.uint8))
+
+    @given(matrices(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_solve_roundtrip(self, m, data):
+        coeffs = np.array(
+            data.draw(
+                st.lists(st.integers(0, 1), min_size=m.shape[0], max_size=m.shape[0])
+            ),
+            dtype=np.uint8,
+        )
+        b = (coeffs @ m) % 2
+        x = gf2_solve(m, b)
+        assert x is not None
+        assert np.array_equal((x @ m) % 2, b)
+
+    def test_decompose_alias(self):
+        a = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        b = np.array([1, 0], dtype=np.uint8)
+        assert np.array_equal(gf2_decompose(a, b), gf2_solve(a, b))
+
+
+class TestNullspace:
+    @given(matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_nullspace_annihilates(self, m):
+        ns = gf2_nullspace(m)
+        assert ns.shape[0] == m.shape[1] - gf2_rank(m)
+        for v in ns:
+            assert not ((m @ v) % 2).any()
+
+    def test_full_rank_trivial(self):
+        assert gf2_nullspace(np.eye(3, dtype=np.uint8)).shape == (0, 3)

@@ -1,0 +1,145 @@
+"""Hardware model: Table 5 timings and exact gate decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.hardware.model import GATE_TIMES_US, HardwareModel
+from repro.sim.gates import PAULI_X, PAULI_Y, PAULI_Z, rotation_unitary, unitary_for
+
+
+def _equal_up_to_phase(a, b, atol=1e-10):
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < atol:
+        return False
+    phase = a[idx] / b[idx]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestTable5:
+    """Native gate durations — paper Table 5 / Fig 5."""
+
+    EXPECTED = {
+        "Prepare_Z": 10.0,
+        "Measure_Z": 120.0,
+        "X_pi/2": 10.0,
+        "X_pi/4": 10.0,
+        "Y_pi/2": 10.0,
+        "Y_pi/4": 10.0,
+        "Z_pi/2": 3.0,
+        "Z_pi/4": 3.0,
+        "Z_pi/8": 3.0,
+        "ZZ": 2000.0,
+        "Move": 5.25,
+        "Junction": 105.0,
+    }
+
+    @pytest.mark.parametrize("name,us", sorted(EXPECTED.items()))
+    def test_duration(self, name, us):
+        assert GATE_TIMES_US[name] == pytest.approx(us)
+
+    def test_signed_variants_cost_the_same(self):
+        assert GATE_TIMES_US["X_-pi/4"] == GATE_TIMES_US["X_pi/4"]
+        assert GATE_TIMES_US["Z_-pi/8"] == GATE_TIMES_US["Z_pi/8"]
+
+    def test_move_time_is_width_over_velocity(self):
+        # 420 um at 80 m/s (§3.2).
+        assert GATE_TIMES_US["Move"] == pytest.approx(420e-6 / 80 * 1e6)
+
+    def test_junction_time_is_width_over_velocity(self):
+        # 420 um at 4 m/s (§3.2).
+        assert GATE_TIMES_US["Junction"] == pytest.approx(420e-6 / 4 * 1e6)
+
+    def test_unknown_gate_rejected(self):
+        g = GridManager(1, 1)
+        with pytest.raises(ValueError):
+            HardwareModel(g).duration("T_gate")
+
+
+def _emitted_unitary(emit, n_qubits=1):
+    """Compile a gate and multiply its native unitaries in time order."""
+    grid = GridManager(2, 2)
+    model = HardwareModel(grid)
+    circuit = HardwareCircuit()
+    ions = [grid.add_ion(grid.index(0, 1)), grid.add_ion(grid.index(0, 2))]
+    emit(model, circuit, ions)
+    u = np.eye(2**n_qubits, dtype=complex)
+    site_index = {grid.index(0, 1): 0, grid.index(0, 2): 1}
+    for inst in circuit.sorted_instructions():
+        if inst.name in ("Prepare_Z", "Measure_Z", "Move", "Load"):
+            raise AssertionError(f"unexpected {inst.name} in unitary sequence")
+        mat = unitary_for(inst.name)
+        if len(inst.sites) == 1 and n_qubits == 2:
+            q = site_index[inst.sites[0]]
+            mat = np.kron(mat, np.eye(2)) if q == 0 else np.kron(np.eye(2), mat)
+        u = mat @ u
+    return u
+
+
+class TestDecompositions:
+    def test_hadamard_exact(self):
+        h = (PAULI_X + PAULI_Z) / np.sqrt(2)
+        u = _emitted_unitary(lambda m, c, ions: m.hadamard(c, ions[0]))
+        assert _equal_up_to_phase(u, h)
+
+    def test_s_gate(self):
+        u = _emitted_unitary(lambda m, c, ions: m.s_gate(c, ions[0]))
+        assert _equal_up_to_phase(u, np.diag([1, 1j]))
+
+    def test_t_gate(self):
+        u = _emitted_unitary(lambda m, c, ions: m.t_gate(c, ions[0]))
+        assert _equal_up_to_phase(u, np.diag([1, np.exp(1j * np.pi / 4)]))
+
+    @pytest.mark.parametrize("which,mat", [("X", PAULI_X), ("Y", PAULI_Y), ("Z", PAULI_Z)])
+    def test_paulis(self, which, mat):
+        u = _emitted_unitary(
+            lambda m, c, ions: getattr(m, f"pauli_{which.lower()}")(c, ions[0])
+        )
+        assert _equal_up_to_phase(u, mat)
+
+    def test_cz_exact(self):
+        cz = np.diag([1, 1, 1, -1]).astype(complex)
+        u = _emitted_unitary(lambda m, c, ions: m.cz(c, ions[0], ions[1]), n_qubits=2)
+        assert _equal_up_to_phase(u, cz)
+
+    def test_cnot_exact(self):
+        cnot = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        u = _emitted_unitary(lambda m, c, ions: m.cnot(c, ions[0], ions[1]), n_qubits=2)
+        assert _equal_up_to_phase(u, cnot)
+
+    def test_cnot_uses_single_zz(self):
+        grid = GridManager(2, 2)
+        model = HardwareModel(grid)
+        circuit = HardwareCircuit()
+        a = grid.add_ion(grid.index(0, 1))
+        b = grid.add_ion(grid.index(0, 2))
+        model.cnot(circuit, a, b)
+        assert circuit.count("ZZ") == 1
+
+    def test_prepare_x_gives_plus(self):
+        # Prepare_Z then Y_pi/4 maps |0> to |+>.
+        u = rotation_unitary("Y", np.pi / 4)
+        assert np.allclose(u @ np.array([1, 0]), np.array([1, 1]) / np.sqrt(2))
+
+    def test_measure_x_basis_change(self):
+        # Y_{-pi/4} maps |+> to |0> so Measure_Z reads the X eigenvalue.
+        u = rotation_unitary("Y", -np.pi / 4)
+        out = u @ (np.array([1, 1]) / np.sqrt(2))
+        assert abs(out[0]) == pytest.approx(1.0)
+
+    def test_measure_y_basis_change(self):
+        u = rotation_unitary("X", np.pi / 4)
+        out = u @ (np.array([1, 1j]) / np.sqrt(2))
+        assert abs(out[0]) == pytest.approx(1.0)
+
+    def test_measure_labels_are_sequential(self):
+        grid = GridManager(1, 1)
+        model = HardwareModel(grid)
+        circuit = HardwareCircuit()
+        ion = grid.add_ion(grid.index(0, 1))
+        _, l1 = model.measure_z(circuit, ion)
+        _, l2 = model.measure_x(circuit, ion)
+        assert (l1, l2) == ("m0", "m1")

@@ -1,0 +1,193 @@
+"""Table 1 and Table 3 instruction sets on logical tiles."""
+
+import pytest
+
+from repro.code.arrangements import Arrangement
+from repro.core.derived import TABLE3, DerivedInstructions
+from repro.core.instructions import TABLE1
+from repro.core.tiles import TileGrid
+from repro.hardware.circuit import HardwareCircuit
+from repro.sim.interpreter import CircuitInterpreter
+
+
+def setup(rows=1, cols=2, d=2):
+    tg = TileGrid(rows, cols, d, d)
+    ops = DerivedInstructions(tg, rounds=1)
+    circuit = HardwareCircuit()
+    occ0 = tg.occupancy_snapshot()
+    return tg, ops, circuit, occ0
+
+
+def run(tg, circuit, occ0, seed=0):
+    return CircuitInterpreter(tg.grid, seed=seed).run(circuit, occ0)
+
+
+class TestTable1Bookkeeping:
+    """Instruction -> (tiles, logical time-steps) per Table 1."""
+
+    def test_table1_rows(self):
+        assert TABLE1["PrepareZ"] == (1, 1)
+        assert TABLE1["InjectT"] == (1, 0)
+        assert TABLE1["MeasureZ"] == (1, 0)
+        assert TABLE1["PauliY"] == (1, 0)
+        assert TABLE1["Hadamard"] == (1, 0)
+        assert TABLE1["Idle"] == (1, 1)
+        assert TABLE1["MeasureZZ"] == (2, 1)
+
+    def test_timestep_accounting(self):
+        tg, ops, c, occ0 = setup()
+        ops.prepare_z(c, (0, 0))
+        ops.idle(c, (0, 0))
+        ops.pauli(c, (0, 0), "X")
+        assert tg[(0, 0)].timesteps_used == 2
+
+    def test_table3_rows(self):
+        assert TABLE3["BellPrepare"] == ("2/2", 1)
+        assert TABLE3["PatchContraction"] == ("2/1", 0)
+        assert TABLE3["PatchExtension"] == ("1/2", 1)
+
+
+class TestOneTileInstructions:
+    def test_prepare_then_measure_z(self):
+        tg, ops, c, occ0 = setup()
+        ops.prepare_z(c, (0, 0))
+        m = ops.measure(c, (0, 0), "Z")
+        res = run(tg, c, occ0, seed=1)
+        assert m.value(res) == 1
+        assert not tg[(0, 0)].initialized
+
+    def test_prepare_x_pauli_z_measure_x(self):
+        tg, ops, c, occ0 = setup()
+        ops.prepare_x(c, (0, 0))
+        ops.pauli(c, (0, 0), "Z")
+        m = ops.measure(c, (0, 0), "X")
+        res = run(tg, c, occ0, seed=2)
+        assert m.value(res) == -1
+
+    def test_hadamard_instruction(self):
+        tg, ops, c, occ0 = setup()
+        ops.prepare_z(c, (0, 0))
+        ops.hadamard(c, (0, 0))
+        assert tg[(0, 0)].patch.arrangement is Arrangement.ROTATED
+        m = ops.measure(c, (0, 0), "X")
+        res = run(tg, c, occ0, seed=3)
+        assert m.value(res) == 1
+
+    def test_inject_y(self):
+        tg, ops, c, occ0 = setup()
+        ops.inject(c, (0, 0), "Y")
+        assert tg[(0, 0)].initialized
+
+    def test_prepare_on_initialized_rejected(self):
+        tg, ops, c, occ0 = setup()
+        ops.prepare_z(c, (0, 0))
+        with pytest.raises(ValueError):
+            ops.prepare_z(c, (0, 0))
+
+    def test_measure_uninitialized_rejected(self):
+        tg, ops, c, occ0 = setup()
+        with pytest.raises(ValueError):
+            ops.measure(c, (0, 0), "Z")
+
+
+class TestTwoTileInstructions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_measure_zz(self, seed):
+        tg, ops, c, occ0 = setup(1, 2)
+        ops.prepare_x(c, (0, 0))
+        ops.prepare_x(c, (0, 1))
+        joint = ops.measure_zz(c, (0, 0), (0, 1))
+        ma = ops.measure(c, (0, 0), "Z")
+        mb = ops.measure(c, (0, 1), "Z")
+        res = run(tg, c, occ0, seed=seed)
+        assert ma.value(res) * mb.value(res) == joint.value(res)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_measure_xx(self, seed):
+        tg, ops, c, occ0 = setup(2, 1)
+        ops.prepare_z(c, (0, 0))
+        ops.prepare_z(c, (1, 0))
+        joint = ops.measure_xx(c, (0, 0), (1, 0))
+        ma = ops.measure(c, (0, 0), "X")
+        mb = ops.measure(c, (1, 0), "X")
+        res = run(tg, c, occ0, seed=seed)
+        assert ma.value(res) * mb.value(res) == joint.value(res)
+
+    def test_zz_wrong_orientation_rejected(self):
+        tg, ops, c, occ0 = setup(2, 1)
+        ops.prepare_z(c, (0, 0))
+        ops.prepare_z(c, (1, 0))
+        with pytest.raises(ValueError):
+            ops.measure_zz(c, (0, 0), (1, 0))
+
+    def test_qnd_repeat_agrees(self):
+        """Repeating MeasureZZ yields the same outcome (QND)."""
+        tg, ops, c, occ0 = setup(1, 2)
+        ops.prepare_x(c, (0, 0))
+        ops.prepare_x(c, (0, 1))
+        j1 = ops.measure_zz(c, (0, 0), (0, 1))
+        j2 = ops.measure_zz(c, (0, 0), (0, 1))
+        res = run(tg, c, occ0, seed=9)
+        assert j1.value(res) == j2.value(res)
+
+
+class TestDerived:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bell_prepare_horizontal(self, seed):
+        tg, ops, c, occ0 = setup(1, 2)
+        bp = ops.bell_prepare(c, (0, 0), (0, 1))
+        mza = ops.measure(c, (0, 0), "Z")
+        mzb = ops.measure(c, (0, 1), "Z")
+        res = run(tg, c, occ0, seed=seed)
+        # ZZ correlation equals the Bell preparation's joint outcome.
+        assert mza.value(res) * mzb.value(res) == bp.value(res)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bell_prepare_then_bell_measure(self, seed):
+        tg, ops, c, occ0 = setup(1, 2)
+        bp = ops.bell_prepare(c, (0, 0), (0, 1))
+        bm = ops.bell_measure(c, (0, 0), (0, 1))
+        res = run(tg, c, occ0, seed=seed)
+        # Measuring the Bell state in the Bell basis reproduces its signs.
+        assert bm.value(res) == bp.value(res)
+        assert bm.frames[0][1](res) == bp.frames[0][1](res)
+        assert not tg[(0, 0)].initialized and not tg[(0, 1)].initialized
+
+    def test_move_preserves_state(self):
+        tg, ops, c, occ0 = setup(1, 2)
+        ops.prepare_z(c, (0, 0))
+        mv = ops.move(c, (0, 0))
+        assert mv.tiles == ((0, 0), (0, 1))
+        assert not tg[(0, 0)].initialized and tg[(0, 1)].initialized
+        m = ops.measure(c, (0, 1), "Z")
+        res = run(tg, c, occ0, seed=4)
+        assert m.value(res) == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_extend_split_acts_like_prepx_plus_zz(self, seed):
+        tg, ops, c, occ0 = setup(1, 2)
+        ops.prepare_x(c, (0, 0))
+        es = ops.extend_split(c, (0, 0))
+        mza = ops.measure(c, (0, 0), "Z")
+        mzb = ops.measure(c, (0, 1), "Z")
+        res = run(tg, c, occ0, seed=seed)
+        assert mza.value(res) * mzb.value(res) == es.value(res)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_merge_contract(self, seed):
+        tg, ops, c, occ0 = setup(1, 2)
+        ops.prepare_x(c, (0, 0))
+        ops.prepare_x(c, (0, 1))
+        mc = ops.merge_contract(c, (0, 0), (0, 1), keep="near")
+        assert tg[(0, 0)].initialized and not tg[(0, 1)].initialized
+        res = run(tg, c, occ0, seed=seed)
+        assert mc.value(res) in (-1, 1)
+
+    def test_extension_contraction_roundtrip(self):
+        tg, ops, c, occ0 = setup(1, 2)
+        ops.prepare_x(c, (0, 0))
+        ext = ops.patch_extension(c, (0, 0))
+        ops.patch_contraction(c, ext, keep="near")
+        m = ops.measure(c, (0, 0), "X")
+        res = run(tg, c, occ0, seed=5)
+        assert m.value(res) == 1

@@ -1,0 +1,119 @@
+"""End-to-end integration: multi-instruction programs, text round-trips,
+Bell-prep verification with two-qubit correlations (§4.2's Bell check)."""
+
+import pytest
+
+from repro.core.compiler import TISCC
+from repro.hardware.circuit import HardwareCircuit
+from repro.sim.interpreter import CircuitInterpreter
+from repro.sim.parser import parse_circuit
+
+
+class TestPrograms:
+    def test_teleportation_style_sequence(self):
+        """Prepare, entangle, measure: all outcomes internally consistent."""
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile([
+            ("BellPrepare", (0, 0), (0, 1)),
+            ("MeasureZ", (0, 0)),
+            ("MeasureZ", (0, 1)),
+        ])
+        for seed in range(5):
+            res = compiler.simulate(compiled, seed=seed)
+            bell, mza, mzb = compiled.results
+            assert mza.value(res) * mzb.value(res) == bell.value(res)
+
+    def test_x_basis_bell_correlation(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile([
+            ("BellPrepare", (0, 0), (0, 1)),
+            ("MeasureX", (0, 0)),
+            ("MeasureX", (0, 1)),
+        ])
+        for seed in range(5):
+            res = compiler.simulate(compiled, seed=seed)
+            bell, mxa, mxb = compiled.results
+            frame = bell.frames[0][1](res)
+            assert mxa.value(res) * mxb.value(res) * frame == 1
+
+    def test_injection_then_measure(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=1, rounds=1)
+        compiled = compiler.compile([("InjectY", (0, 0)), ("Idle", (0, 0))])
+        res = compiler.simulate(compiled, seed=1)
+        lq = compiler.tiles[(0, 0)].patch
+        y = lq.logical_y()
+        v = res.expectation(y.pauli)
+        for lab in y.corrections:
+            v *= res.sign(lab)
+        assert v == 1
+
+    def test_sequential_instructions_on_one_tile(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=1, rounds=1)
+        compiled = compiler.compile([
+            ("PrepareZ", (0, 0)),
+            ("PauliX", (0, 0)),
+            ("Idle", (0, 0)),
+            ("MeasureZ", (0, 0)),
+        ])
+        res = compiler.simulate(compiled, seed=2)
+        assert compiled.results[-1].value(res) == -1
+        assert compiled.logical_timesteps == 2
+
+    def test_full_text_pipeline(self):
+        """Compile -> serialize -> parse -> simulate: same outcomes."""
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile([
+            ("PrepareX", (0, 0)),
+            ("PrepareX", (0, 1)),
+            ("MeasureZZ", (0, 0), (0, 1)),
+        ])
+        text = compiled.to_text()
+        parsed = parse_circuit(text, compiler.grid)
+        r1 = CircuitInterpreter(compiler.grid, seed=7).run(
+            compiled.circuit, compiled.initial_occupancy
+        )
+        r2 = CircuitInterpreter(compiler.grid, seed=7).run(
+            parsed, compiled.initial_occupancy
+        )
+        assert r1.outcomes == r2.outcomes
+
+    def test_every_compiled_circuit_passes_validity(self):
+        compiler = TISCC(dx=3, dz=3, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile([
+            ("PrepareZ", (0, 0)),
+            ("Hadamard", (0, 0)),
+            ("Idle", (0, 0)),
+            ("MeasureX", (0, 0)),
+        ])
+        assert compiled.validity is not None
+        assert compiled.validity.n_instructions == len(compiled.circuit)
+
+
+class TestSerializedPrimitiveComposition:
+    """§5: combinations of verified primitives on non-overlapping patches."""
+
+    def test_two_patches_in_parallel(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile([
+            ("PrepareZ", (0, 0)),
+            ("PrepareX", (0, 1)),
+            ("PauliX", (0, 0)),
+            ("PauliZ", (0, 1)),
+            ("MeasureZ", (0, 0)),
+            ("MeasureX", (0, 1)),
+        ])
+        res = compiler.simulate(compiled, seed=3)
+        assert compiled.results[-2].value(res) == -1
+        assert compiled.results[-1].value(res) == -1
+
+    def test_tile_reuse_after_measurement(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=1, rounds=1)
+        compiled = compiler.compile([
+            ("PrepareZ", (0, 0)),
+            ("MeasureZ", (0, 0)),
+            ("PrepareX", (0, 0)),
+            ("MeasureX", (0, 0)),
+        ])
+        res = compiler.simulate(compiled, seed=4)
+        assert compiled.results[1].value(res) == 1
+        assert compiled.results[3].value(res) == 1

@@ -1,0 +1,145 @@
+"""Circuit interpreter (ORQCS hardware model) and ion relocation."""
+
+import pytest
+
+from repro.code.pauli import PauliString
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager, MOVE_US
+from repro.hardware.model import HardwareModel
+from repro.hardware.relocation import RelocationError, relocate_ion
+from repro.sim.interpreter import CircuitInterpreter
+from tests.conftest import fresh_patch, simulate
+
+
+class TestInterpreter:
+    def test_movement_tracking(self):
+        grid = GridManager(2, 2)
+        model = HardwareModel(grid)
+        c = HardwareCircuit()
+        s1, s2 = grid.index(0, 1), grid.index(0, 2)
+        ion = grid.add_ion(s1)
+        occ0 = {s1: ion}
+        model.prepare_x(c, ion)
+        grid.schedule_move(c, ion, s2)
+        _, label = model.measure_x(c, ion)
+        res = CircuitInterpreter(grid, seed=0).run(c, occ0)
+        assert res.occupancy == {s2: ion}
+        assert res.outcomes[label] == 0  # |+> measured in X
+
+    def test_gate_on_empty_site_rejected(self):
+        grid = GridManager(2, 2)
+        c = HardwareCircuit()
+        c.append("Prepare_Z", (grid.index(0, 1),), 0.0, 10.0)
+        with pytest.raises(ValueError):
+            CircuitInterpreter(grid).run(c, {})
+
+    def test_move_into_occupied_rejected(self):
+        grid = GridManager(2, 2)
+        c = HardwareCircuit()
+        s1, s2 = grid.index(0, 1), grid.index(0, 2)
+        c.append("Move", (s1, s2), 0.0, MOVE_US)
+        with pytest.raises(ValueError):
+            CircuitInterpreter(grid).run(c, {s1: 0, s2: 1})
+
+    def test_load_extends_tableau(self):
+        grid = GridManager(2, 2)
+        c = HardwareCircuit()
+        s1, s2 = grid.index(0, 1), grid.index(4, 1)
+        c.append("Load", (s2,), 0.0, 0.0)
+        c.append("Prepare_Z", (s2,), 0.0, 10.0)
+        res = CircuitInterpreter(grid, seed=0).run(c, {s1: 0})
+        assert res.expectation(PauliString({s2: "Z"})) == 1
+
+    def test_forced_outcomes(self):
+        grid = GridManager(2, 2)
+        model = HardwareModel(grid)
+        c = HardwareCircuit()
+        s1 = grid.index(0, 1)
+        ion = grid.add_ion(s1)
+        model.prepare_x(c, ion)
+        _, label = model.measure_z(c, ion)
+        res = CircuitInterpreter(grid, seed=0).run(c, {s1: ion}, forced_outcomes={label: 1})
+        assert res.outcomes[label] == 1
+
+    def test_continuation_from_previous_run(self):
+        grid, _, lq, c, occ0 = fresh_patch(2, 2)
+        lq.prepare(c, basis="Z", rounds=1)
+        res1 = simulate(grid, c, occ0, seed=1)
+        c2 = HardwareCircuit()
+        lq.apply_pauli(c2, "X")
+        interp = CircuitInterpreter(grid, seed=2)
+        res2 = interp.run(c2, {}, initial_state=res1)
+        assert res2.expectation(lq.logical_z.pauli) == -1
+
+    def test_expectation_by_site(self):
+        grid = GridManager(2, 2)
+        model = HardwareModel(grid)
+        c = HardwareCircuit()
+        s1 = grid.index(0, 1)
+        ion = grid.add_ion(s1)
+        model.prepare_y(c, ion)
+        res = CircuitInterpreter(grid, seed=0).run(c, {s1: ion})
+        assert res.expectation(PauliString({s1: "Y"})) == 1
+
+    def test_sign_helper(self):
+        grid = GridManager(2, 2)
+        model = HardwareModel(grid)
+        c = HardwareCircuit()
+        s1 = grid.index(0, 1)
+        ion = grid.add_ion(s1)
+        model.prepare_z(c, ion)
+        model.pauli_x(c, ion)
+        _, label = model.measure_z(c, ion)
+        res = CircuitInterpreter(grid, seed=0).run(c, {s1: ion})
+        assert res.outcomes[label] == 1 and res.sign(label) == -1
+
+
+class TestRelocation:
+    def test_simple_relocation(self):
+        grid = GridManager(2, 2)
+        c = HardwareCircuit()
+        ion = grid.add_ion(grid.index(0, 1), "m0")
+        relocate_ion(grid, c, ion, grid.index(4, 1))
+        assert grid.site_of(ion) == grid.index(4, 1)
+
+    def test_step_aside_and_return(self):
+        grid = GridManager(2, 2)
+        c = HardwareCircuit()
+        traveler = grid.add_ion(grid.index(0, 1), "m:t")
+        blocker_site = grid.index(0, 3)
+        blocker = grid.add_ion(blocker_site, "m:b")
+        relocate_ion(grid, c, traveler, grid.index(0, 5))
+        assert grid.site_of(traveler) == grid.index(0, 5)
+        assert grid.site_of(blocker) == blocker_site  # stepped aside and back
+
+    def test_occupied_destination_rejected(self):
+        grid = GridManager(2, 2)
+        c = HardwareCircuit()
+        a = grid.add_ion(grid.index(0, 1))
+        b = grid.add_ion(grid.index(0, 2))
+        with pytest.raises(RelocationError):
+            relocate_ion(grid, c, a, grid.index(0, 2))
+
+    def test_relocation_emits_valid_moves(self):
+        from repro.hardware.validity import check_circuit
+
+        grid = GridManager(2, 2)
+        c = HardwareCircuit()
+        traveler = grid.add_ion(grid.index(0, 1), "m:t")
+        blocker = grid.add_ion(grid.index(0, 3), "m:b")
+        occ0 = grid.occupancy()
+        relocate_ion(grid, c, traveler, grid.index(0, 5))
+        check_circuit(grid, c, occ0)
+
+    def test_avoids_data_ions(self):
+        """Routes go around data-tagged ions rather than displacing them."""
+        grid = GridManager(3, 3)
+        c = HardwareCircuit()
+        data_site = grid.index(0, 6)  # O site on the top row
+        grid.add_ion(data_site, "q:d0,1")
+        traveler = grid.add_ion(grid.index(0, 5), "q:m")
+        relocate_ion(grid, c, traveler, grid.index(0, 9))
+        assert grid.site_of(traveler) == grid.index(0, 9)
+        assert grid.ion_at(data_site) is not None
+        moved_sites = {s for i in c.instructions if i.name == "Move" for s in i.sites}
+        assert data_site not in moved_sites

@@ -1,0 +1,198 @@
+"""LogicalQubit: validity, primitives, and simulated logical states."""
+
+import pytest
+
+from repro.code.arrangements import Arrangement
+from repro.code.pauli import PauliString
+from repro.hardware.validity import check_circuit
+from tests.conftest import corrected, fresh_patch, simulate
+
+ARRS = list(Arrangement)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("dx,dz", [(2, 2), (3, 3), (4, 3), (3, 4), (5, 5)])
+    @pytest.mark.parametrize("arr", ARRS)
+    def test_validate(self, dx, dz, arr):
+        _, _, lq, _, _ = fresh_patch(dx, dz, arr)
+        lq.validate()
+
+    def test_ion_counts(self):
+        _, _, lq, _, _ = fresh_patch(3, 3)
+        assert len(lq.data_ions) == 9
+        assert len(lq.measure_ions) == 8
+
+    def test_parity_check_shape(self):
+        _, _, lq, _, _ = fresh_patch(3, 3)
+        assert lq.parity_check_matrix().shape == (8, 18)
+
+    def test_dt_default(self):
+        _, _, lq, _, _ = fresh_patch(5, 3)
+        assert lq.dt == 5
+
+    def test_double_place_rejected(self):
+        _, _, lq, _, _ = fresh_patch(3, 3)
+        with pytest.raises(RuntimeError):
+            lq.place_ions()
+
+
+class TestPrepare:
+    @pytest.mark.parametrize("arr", ARRS)
+    @pytest.mark.parametrize("basis,attr", [("Z", "logical_z"), ("X", "logical_x")])
+    def test_prepare_all_arrangements(self, arr, basis, attr):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3, arr)
+        lq.prepare(c, basis=basis, rounds=1)
+        check_circuit(grid, c, occ0)
+        res = simulate(grid, c, occ0, seed=1)
+        assert corrected(res, getattr(lq, attr)) == 1
+
+    @pytest.mark.parametrize("dx,dz", [(2, 2), (4, 3), (2, 5)])
+    def test_prepare_even_and_mixed(self, dx, dz):
+        grid, _, lq, c, occ0 = fresh_patch(dx, dz)
+        lq.prepare(c, basis="Z", rounds=1)
+        res = simulate(grid, c, occ0, seed=2)
+        assert corrected(res, lq.logical_z) == 1
+
+    def test_conjugate_expectation_is_zero(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        res = simulate(grid, c, occ0, seed=3)
+        assert res.expectation(lq.logical_x.pauli) == 0
+
+    def test_quiescence_and_determinism(self):
+        """§4.3: outcomes stable on repeated idles after the first round."""
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        recs = lq.prepare(c, basis="Z", rounds=3)
+        res = simulate(grid, c, occ0, seed=4)
+        r1, r2, r3 = recs
+        for face in r1.outcome_labels:
+            v1 = res.outcomes[r1.outcome_labels[face]]
+            assert res.outcomes[r2.outcome_labels[face]] == v1
+            assert res.outcomes[r3.outcome_labels[face]] == v1
+            assert res.deterministic[r2.outcome_labels[face]]
+
+    def test_outcomes_match_stabilizer_values(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        recs = lq.prepare(c, basis="Z", rounds=1)
+        res = simulate(grid, c, occ0, seed=5)
+        for plaq in lq.plaquettes:
+            label = recs[0].outcome_labels[plaq.face]
+            assert res.sign(label) == res.expectation(plaq.stabilizer())
+
+
+class TestPauliAndHadamard:
+    def test_pauli_x_flips_z(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        lq.apply_pauli(c, "X")
+        res = simulate(grid, c, occ0, seed=6)
+        assert corrected(res, lq.logical_z) == -1
+
+    def test_pauli_z_flips_x(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="X", rounds=1)
+        lq.apply_pauli(c, "Z")
+        res = simulate(grid, c, occ0, seed=7)
+        assert corrected(res, lq.logical_x) == -1
+
+    def test_pauli_y_flips_both(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        lq.apply_pauli(c, "Y")
+        res = simulate(grid, c, occ0, seed=8)
+        assert corrected(res, lq.logical_z) == -1
+
+    def test_bad_pauli_rejected(self):
+        _, _, lq, c, _ = fresh_patch(3, 3)
+        with pytest.raises(ValueError):
+            lq.apply_pauli(c, "W")
+
+    def test_hadamard_changes_arrangement_and_state(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        lq.transversal_hadamard(c)
+        assert lq.arrangement is Arrangement.ROTATED
+        lq.validate()
+        lq.idle(c, rounds=1)
+        res = simulate(grid, c, occ0, seed=9)
+        assert corrected(res, lq.logical_x) == 1
+
+    def test_double_hadamard_identity(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        lq.transversal_hadamard(c)
+        lq.transversal_hadamard(c)
+        assert lq.arrangement is Arrangement.STANDARD
+        res = simulate(grid, c, occ0, seed=10)
+        assert corrected(res, lq.logical_z) == 1
+
+
+class TestMeasure:
+    def test_transversal_measure_z(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        labels = lq.transversal_measure(c, basis="Z")
+        assert not lq.initialized
+        res = simulate(grid, c, occ0, seed=11)
+        v = 1
+        for (i, j), lab in labels.items():
+            if j == 0:
+                v *= res.sign(lab)
+        assert v == 1
+
+    def test_remeasure_after_reprep(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        lq.transversal_measure(c, basis="Z")
+        lq.prepare(c, basis="X", rounds=1)
+        res = simulate(grid, c, occ0, seed=12)
+        assert corrected(res, lq.logical_x) == 1
+
+    def test_bad_basis(self):
+        _, _, lq, c, _ = fresh_patch(3, 3)
+        with pytest.raises(ValueError):
+            lq.transversal_measure(c, basis="Y")
+
+
+class TestInjection:
+    @pytest.mark.parametrize("arr", ARRS)
+    def test_inject_y(self, arr):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3, arr)
+        lq.inject_state(c, "Y", rounds=1)
+        res = simulate(grid, c, occ0, seed=13)
+        assert corrected(res, lq.logical_y()) == 1
+
+    def test_inject_t_statistics(self):
+        import numpy as np
+
+        from repro.sim.quasi import estimate_expectation
+
+        grid, _, lq, c, occ0 = fresh_patch(2, 2)
+        lq.inject_state(c, "T", rounds=1)
+        x = lq.logical_x
+
+        def shot(k):
+            res = simulate(grid, c, occ0, seed=20000 + k)
+            return corrected(res, x), res.weight
+
+        mean, err = estimate_expectation(shot, 500)
+        assert mean == pytest.approx(1 / np.sqrt(2), abs=5 * err)
+
+    def test_inject_rejects_other(self):
+        _, _, lq, c, _ = fresh_patch(3, 3)
+        with pytest.raises(ValueError):
+            lq.inject_state(c, "Q")
+
+
+class TestMeasureOut:
+    def test_corner_removal_updates_logicals(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        old_support = set(lq.logical_z.pauli.support)
+        label = lq.measure_out_data_qubit(c, (0, 0), "Z")
+        assert (0, 0) not in lq.data_ions
+        # Z_L had support on the corner: it was reduced with the outcome label.
+        assert lq.logical_z.pauli.support < old_support
+        assert label in lq.logical_z.corrections
+        res = simulate(grid, c, occ0, seed=14)
+        assert corrected(res, lq.logical_z) == 1

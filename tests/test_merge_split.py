@@ -1,0 +1,190 @@
+"""Lattice surgery: Merge, Split, Extension, Contraction (Tables 2-3)."""
+
+import pytest
+
+from repro.code.logical_qubit import LogicalQubit
+from repro.code.patch_ops import (
+    _joint_operator_faces,
+    contract_patch,
+    extend_patch,
+    merge,
+    split,
+)
+from repro.code.pauli import PauliString
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.hardware.model import HardwareModel
+from repro.hardware.validity import check_circuit
+from tests.conftest import corrected, simulate
+
+
+def setup_pair(d=3, orientation="horizontal"):
+    from repro.code.patch_layout import tile_unit_cols, tile_unit_rows
+
+    if orientation == "horizontal":
+        grid = GridManager(tile_unit_rows(d), 2 * tile_unit_cols(d))
+        origin_b = (0, tile_unit_cols(d))
+    else:
+        grid = GridManager(2 * tile_unit_rows(d), tile_unit_cols(d))
+        origin_b = (tile_unit_rows(d), 0)
+    model = HardwareModel(grid)
+    a = LogicalQubit(grid, model, d, d, (0, 0), name="A")
+    b = LogicalQubit(grid, model, d, d, origin_b, name="B")
+    occ0 = grid.occupancy()
+    return grid, model, a, b, occ0
+
+
+class TestTelescoping:
+    """The joint-operator faces multiply to Z_A Z_B / X_A X_B exactly."""
+
+    @pytest.mark.parametrize("orientation", ["horizontal", "vertical"])
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_identity(self, orientation, d):
+        grid, model, a, b, occ0 = setup_pair(d, orientation)
+        c = HardwareCircuit()
+        a.prepare(c, basis="X" if orientation == "horizontal" else "Z", rounds=1)
+        b.prepare(c, basis="X" if orientation == "horizontal" else "Z", rounds=1)
+        za, xa = a.logical_z.pauli, a.logical_x.pauli
+        zb, xb = b.logical_z.pauli, b.logical_x.pauli
+        mr = merge(c, a, b, orientation, rounds=1)
+        prod = PauliString()
+        for face in _joint_operator_faces(mr.merged, orientation, *mr.sizes[:2]):
+            plaq = next(p for p in mr.merged.plaquettes if p.face == face)
+            prod = prod * plaq.stabilizer()
+        expected = (za * zb) if orientation == "horizontal" else (xa * xb)
+        # The telescoped product equals the joint operator on A and B plus
+        # the seam column/row contribution.
+        assert expected.support <= prod.support
+        assert prod.phase == 0
+
+
+class TestMergeSplit:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_measure_zz_semantics(self, seed):
+        grid, model, a, b, occ0 = setup_pair(3, "horizontal")
+        c = HardwareCircuit()
+        a.prepare(c, basis="X", rounds=1)
+        b.prepare(c, basis="X", rounds=1)
+        za, xa = a.logical_z.pauli, a.logical_x.pauli
+        zb, xb = b.logical_z.pauli, b.logical_x.pauli
+        mr = merge(c, a, b, "horizontal", rounds=1)
+        sr = split(c, mr)
+        check_circuit(grid, c, occ0)
+        res = simulate(grid, c, occ0, seed=seed)
+        m = mr.outcome_sign(res)
+        assert res.expectation(za * zb) == m
+        frame = 1
+        for lab in sr.frame_labels:
+            frame *= res.sign(lab)
+        assert res.expectation(xa * xb) * frame == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_measure_xx_semantics(self, seed):
+        grid, model, a, b, occ0 = setup_pair(3, "vertical")
+        c = HardwareCircuit()
+        a.prepare(c, basis="Z", rounds=1)
+        b.prepare(c, basis="Z", rounds=1)
+        za, xa = a.logical_z.pauli, a.logical_x.pauli
+        zb, xb = b.logical_z.pauli, b.logical_x.pauli
+        mr = merge(c, a, b, "vertical", rounds=1)
+        sr = split(c, mr)
+        check_circuit(grid, c, occ0)
+        res = simulate(grid, c, occ0, seed=seed)
+        m = mr.outcome_sign(res)
+        assert res.expectation(xa * xb) == m
+        frame = 1
+        for lab in sr.frame_labels:
+            frame *= res.sign(lab)
+        assert res.expectation(za * zb) * frame == 1
+
+    def test_even_distance_two_column_seam(self):
+        grid, model, a, b, occ0 = setup_pair(4, "horizontal")
+        c = HardwareCircuit()
+        a.prepare(c, basis="X", rounds=1)
+        b.prepare(c, basis="X", rounds=1)
+        za, zb = a.logical_z.pauli, b.logical_z.pauli
+        mr = merge(c, a, b, "horizontal", rounds=1)
+        assert mr.sizes == (4, 2, 4)
+        mr.merged.validate()
+        sr = split(c, mr)
+        res = simulate(grid, c, occ0, seed=7)
+        assert res.expectation(za * zb) == mr.outcome_sign(res)
+
+    def test_merged_patch_is_valid_code(self):
+        grid, model, a, b, occ0 = setup_pair(3, "horizontal")
+        c = HardwareCircuit()
+        a.prepare(c, basis="Z", rounds=1)
+        b.prepare(c, basis="Z", rounds=1)
+        mr = merge(c, a, b, "horizontal", rounds=1)
+        mr.merged.validate()
+        assert mr.merged.dx == 7 and mr.merged.dz == 3
+
+    def test_merge_requires_initialized(self):
+        grid, model, a, b, _ = setup_pair(3)
+        c = HardwareCircuit()
+        with pytest.raises(ValueError):
+            merge(c, a, b, "horizontal")
+
+    def test_merge_requires_matching_dims(self):
+        grid = GridManager(8, 8)
+        model = HardwareModel(grid)
+        a = LogicalQubit(grid, model, 3, 3, (0, 0))
+        b = LogicalQubit(grid, model, 3, 2, (0, 4))
+        c = HardwareCircuit()
+        a.initialized = b.initialized = True
+        with pytest.raises(ValueError):
+            merge(c, a, b, "horizontal")
+
+    def test_bad_orientation(self):
+        grid, model, a, b, _ = setup_pair(3)
+        a.initialized = b.initialized = True
+        with pytest.raises(ValueError):
+            merge(HardwareCircuit(), a, b, "diagonal")
+
+
+class TestExtendContract:
+    @pytest.mark.parametrize("basis,attr", [("Z", "logical_z"), ("X", "logical_x")])
+    @pytest.mark.parametrize("keep", ["near", "far"])
+    def test_horizontal_identity(self, basis, attr, keep):
+        grid = GridManager(4, 8)
+        model = HardwareModel(grid)
+        a = LogicalQubit(grid, model, 3, 3, (0, 0), name="A")
+        occ0 = grid.occupancy()
+        c = HardwareCircuit()
+        a.prepare(c, basis=basis, rounds=1)
+        mr = extend_patch(c, a, "horizontal", rounds=1)
+        lq2, _sr = contract_patch(c, mr, keep=keep)
+        check_circuit(grid, c, occ0)
+        res = simulate(grid, c, occ0, seed=11)
+        assert corrected(res, getattr(lq2, attr)) == 1
+
+    @pytest.mark.parametrize("basis,attr", [("Z", "logical_z"), ("X", "logical_x")])
+    @pytest.mark.parametrize("keep", ["near", "far"])
+    def test_vertical_identity(self, basis, attr, keep):
+        grid = GridManager(8, 4)
+        model = HardwareModel(grid)
+        a = LogicalQubit(grid, model, 3, 3, (0, 0), name="A")
+        occ0 = grid.occupancy()
+        c = HardwareCircuit()
+        a.prepare(c, basis=basis, rounds=1)
+        mr = extend_patch(c, a, "vertical", rounds=1)
+        lq2, _sr = contract_patch(c, mr, keep=keep)
+        res = simulate(grid, c, occ0, seed=12)
+        assert corrected(res, getattr(lq2, attr)) == 1
+
+    def test_extension_needs_initialized(self):
+        grid = GridManager(4, 8)
+        model = HardwareModel(grid)
+        a = LogicalQubit(grid, model, 3, 3, (0, 0))
+        with pytest.raises(ValueError):
+            extend_patch(HardwareCircuit(), a, "horizontal")
+
+    def test_contract_bad_keep(self):
+        grid = GridManager(4, 8)
+        model = HardwareModel(grid)
+        a = LogicalQubit(grid, model, 3, 3, (0, 0))
+        c = HardwareCircuit()
+        a.prepare(c, basis="Z", rounds=1)
+        mr = extend_patch(c, a, "horizontal", rounds=1)
+        with pytest.raises(ValueError):
+            contract_patch(c, mr, keep="middle")

@@ -1,0 +1,205 @@
+"""Patch geometry: faces, arrangements, tiles, logical operators."""
+
+import pytest
+
+from repro.code.arrangements import Arrangement
+from repro.code.patch_layout import PatchLayout, tile_unit_cols, tile_unit_rows
+from repro.code.plaquette import N_PATTERN, Z_PATTERN
+from repro.hardware.grid import GridManager
+from repro.util.geometry import SiteType
+
+ALL_DIMS = [(2, 2), (3, 3), (2, 3), (3, 2), (4, 3), (3, 4), (4, 4), (5, 3), (5, 5)]
+
+
+def layout(dx, dz, arr=Arrangement.STANDARD):
+    grid = GridManager(dz + 2, dx + 2)
+    return PatchLayout(grid, dx, dz, arrangement=arr)
+
+
+class TestTileDimensions:
+    """Tile size: 2*ceil((d+1)/2) units per axis (§2.3)."""
+
+    @pytest.mark.parametrize("d,expect", [(2, 4), (3, 4), (4, 6), (5, 6), (7, 8)])
+    def test_formula(self, d, expect):
+        assert tile_unit_rows(d) == expect
+        assert tile_unit_cols(d) == expect
+
+    def test_odd_distance_one_strip(self):
+        assert tile_unit_cols(5) - 5 == 1
+
+    def test_even_distance_two_strips(self):
+        assert tile_unit_cols(4) - 4 == 2
+
+
+class TestFaces:
+    @pytest.mark.parametrize("dx,dz", ALL_DIMS)
+    @pytest.mark.parametrize("arr", list(Arrangement))
+    def test_face_count(self, dx, dz, arr):
+        assert len(layout(dx, dz, arr).face_coords()) == dx * dz - 1
+
+    @pytest.mark.parametrize("dx,dz", ALL_DIMS)
+    def test_stabilizers_pairwise_commute(self, dx, dz):
+        plaqs = layout(dx, dz).plaquettes()
+        stabs = [p.stabilizer() for p in plaqs]
+        for i, a in enumerate(stabs):
+            for b in stabs[i + 1 :]:
+                assert a.commutes_with(b)
+
+    def test_standard_d3_boundary_positions(self):
+        lay = layout(3, 3)
+        faces = set(lay.face_coords())
+        assert (-1, 1) in faces and (-1, 0) not in faces  # top Z at odd slots
+        assert (2, 0) in faces and (2, 1) not in faces    # bottom Z at even
+        assert (0, -1) in faces and (1, -1) not in faces  # left X at even
+        assert (1, 2) in faces and (0, 2) not in faces    # right X at odd
+
+    def test_flipped_d3_boundaries_shift(self):
+        lay = layout(3, 3, Arrangement.FLIPPED)
+        faces = set(lay.face_coords())
+        assert (-1, 0) in faces and (-1, 1) not in faces
+        assert (1, -1) in faces and (0, -1) not in faces
+
+    def test_interior_letters_checkerboard(self):
+        lay = layout(3, 3)
+        assert lay.face_letter(0, 0) == "Z"
+        assert lay.face_letter(0, 1) == "X"
+        assert lay.face_letter(1, 1) == "Z"
+
+    def test_rotated_swaps_letters(self):
+        assert layout(3, 3, Arrangement.ROTATED).face_letter(0, 0) == "X"
+
+    def test_weights(self):
+        plaqs = layout(3, 3).plaquettes()
+        weights = sorted(p.weight for p in plaqs)
+        assert weights == [2, 2, 2, 2, 4, 4, 4, 4]
+
+    def test_d2_code_structure(self):
+        # d=2: one weight-4 face plus two weight-2 faces (§4.3's d=2 check).
+        plaqs = layout(2, 2).plaquettes()
+        weights = sorted(p.weight for p in plaqs)
+        assert weights == [2, 2, 4]
+
+
+class TestPatterns:
+    """Fig 6: Z faces use the Z pattern, X faces the N pattern (§3.3)."""
+
+    def test_pattern_assignment(self):
+        for plaq in layout(3, 3).plaquettes():
+            expected = Z_PATTERN if plaq.pauli == "Z" else N_PATTERN
+            assert plaq.pattern == expected
+
+    def test_patterns_interleave_per_data_qubit(self):
+        """Each data qubit is visited at most once per layer."""
+        lay = layout(5, 5)
+        visits: dict[tuple[int, int], list[int]] = {}
+        for plaq in lay.plaquettes():
+            for lyr, corner in plaq.visits():
+                visits.setdefault(plaq.corners[corner], []).append(lyr)
+        for ij, layers in visits.items():
+            assert len(layers) == len(set(layers)), f"double-gated data {ij}"
+
+    def test_visits_keep_layer_slots(self):
+        # A weight-2 top face (corners c, d) visits at layers 3 and 4 (Z) or
+        # 2 and 4 (N), never renumbered to 1 and 2.
+        lay = layout(3, 3)
+        top = next(p for p in lay.plaquettes() if p.face[0] == -1)
+        assert [lyr for lyr, _ in top.visits()] == [3, 4]
+
+
+class TestInfrastructure:
+    def test_data_on_operation_sites(self):
+        lay = layout(3, 3)
+        for site in lay.data_sites().values():
+            assert lay.grid.site_type(site) is SiteType.OPERATION
+
+    def test_homes_are_zones(self):
+        lay = layout(3, 3)
+        for plaq in lay.plaquettes():
+            assert lay.grid.is_zone(plaq.home)
+
+    def test_interior_corridors_disjoint(self):
+        lay = layout(5, 5)
+        homes = [p.home for p in lay.plaquettes()]
+        assert len(homes) == len(set(homes))
+
+    def test_pockets_adjacent_to_data(self):
+        lay = layout(3, 3)
+        for plaq in lay.plaquettes():
+            for corner, pocket in plaq.pockets.items():
+                assert lay.grid.gate_adjacent(pocket, plaq.data_sites[corner])
+
+    def test_path_within_face(self):
+        lay = layout(3, 3)
+        plaq = lay.build_plaquette(0, 0)
+        path = plaq.path(plaq.home, plaq.pockets["a"])
+        assert path[0] == plaq.home and path[-1] == plaq.pockets["a"]
+
+    def test_boundary_plaquette_constructor(self):
+        lay = layout(3, 3)
+        plaq = lay.build_boundary_plaquette(-1, 0, "X")
+        assert plaq.pauli == "X" and plaq.weight == 2
+        with pytest.raises(ValueError):
+            lay.build_boundary_plaquette(0, 0, "X")  # interior
+
+    def test_nonexistent_face_rejected(self):
+        with pytest.raises(ValueError):
+            layout(3, 3).build_plaquette(-1, 0)
+
+
+class TestLogicals:
+    def test_standard_directions(self):
+        """Standard arrangement: Z vertical, X horizontal (§2.3)."""
+        lay = layout(3, 3)
+        z = lay.logical_z()
+        x = lay.logical_x()
+        z_coords = [lay.grid.coords(s) for s in z.support]
+        x_coords = [lay.grid.coords(s) for s in x.support]
+        assert len({c for _r, c in z_coords}) == 1  # single column
+        assert len({r for r, _c in x_coords}) == 1  # single row
+        assert not z.commutes_with(x)
+
+    @pytest.mark.parametrize("arr", list(Arrangement))
+    def test_logicals_commute_with_all_faces(self, arr):
+        lay = layout(3, 3, arr)
+        for op in (lay.logical_z(), lay.logical_x()):
+            for plaq in lay.plaquettes():
+                assert plaq.stabilizer().commutes_with(op)
+
+    def test_vertical_letter_per_arrangement(self):
+        assert Arrangement.STANDARD.vertical_letter == "Z"
+        assert Arrangement.ROTATED.vertical_letter == "X"
+        assert Arrangement.FLIPPED.vertical_letter == "X"
+        assert Arrangement.ROTATED_FLIPPED.vertical_letter == "Z"
+
+
+class TestArrangementTransitions:
+    """Fig 2 transition structure."""
+
+    def test_hadamard_toggles_swap(self):
+        assert Arrangement.STANDARD.after_transversal_hadamard() == Arrangement.ROTATED
+        assert Arrangement.ROTATED.after_transversal_hadamard() == Arrangement.STANDARD
+
+    def test_flip_toggles_offset(self):
+        assert Arrangement.STANDARD.after_flip_patch() == Arrangement.FLIPPED
+        assert Arrangement.ROTATED.after_flip_patch() == Arrangement.ROTATED_FLIPPED
+
+    def test_column_shift_toggles_both(self):
+        assert Arrangement.STANDARD.after_column_shift() == Arrangement.ROTATED_FLIPPED
+        assert Arrangement.ROTATED.after_column_shift() == Arrangement.FLIPPED
+
+    def test_flip_then_hadamard_is_rotated_flipped(self):
+        # §3.3: "If Flip Patch is followed by the transversal Hadamard
+        # [leaving the rotated-flipped arrangement]".
+        arr = Arrangement.STANDARD.after_flip_patch().after_transversal_hadamard()
+        assert arr == Arrangement.ROTATED_FLIPPED
+
+
+class TestRender:
+    def test_ascii_contains_site_kinds(self):
+        art = layout(3, 3).render_ascii()
+        for ch in "JOMDzx":
+            assert ch in art
+
+    def test_distance_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            layout(1, 3)

@@ -1,0 +1,99 @@
+"""PauliString algebra with exact phases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.code.pauli import PauliString
+
+letters = st.sampled_from(["I", "X", "Y", "Z"])
+
+
+def paulis(n=4):
+    return st.lists(letters, min_size=n, max_size=n).map(
+        lambda ls: PauliString({k: p for k, p in enumerate(ls) if p != "I"})
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        assert PauliString.identity().is_identity
+
+    def test_rejects_bad_letter(self):
+        with pytest.raises(ValueError):
+            PauliString({0: "Q"})
+
+    def test_from_label(self):
+        p = PauliString.from_label("XIZ", [10, 20, 30])
+        assert p.get(10) == "X" and p.get(20) == "I" and p.get(30) == "Z"
+        assert p.weight == 2
+
+    def test_from_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XX", [1])
+
+    def test_phase_normalized(self):
+        assert PauliString({}, 7).phase == 3
+        assert PauliString({}, -1).phase == 3
+
+
+class TestAlgebra:
+    def test_xy_equals_iz(self):
+        assert PauliString({0: "X"}) * PauliString({0: "Y"}) == PauliString({0: "Z"}, 1)
+
+    def test_yx_equals_minus_iz(self):
+        assert PauliString({0: "Y"}) * PauliString({0: "X"}) == PauliString({0: "Z"}, 3)
+
+    def test_squares_to_identity(self):
+        for p in "XYZ":
+            sq = PauliString({0: p}) * PauliString({0: p})
+            assert sq.is_identity and sq.phase == 0
+
+    def test_logical_y_construction(self):
+        # i * X-row * Z-col with one overlap site is Hermitian with phase 0.
+        x_l = PauliString({(0, 0): "X", (0, 1): "X", (0, 2): "X"})
+        z_l = PauliString({(0, 0): "Z", (1, 0): "Z", (2, 0): "Z"})
+        y_l = (x_l * z_l).times_i()
+        assert y_l.phase == 0
+        assert y_l.get((0, 0)) == "Y"
+        assert y_l.is_hermitian
+
+    def test_neg(self):
+        assert (-PauliString({0: "X"})).phase == 2
+
+    @given(paulis(), paulis())
+    @settings(max_examples=80, deadline=None)
+    def test_commute_or_anticommute(self, p, q):
+        pq = p * q
+        qp = q * p
+        assert pq.ops == qp.ops
+        diff = (pq.phase - qp.phase) % 4
+        assert diff in (0, 2)
+        assert p.commutes_with(q) == (diff == 0)
+
+    @given(paulis(), paulis(), paulis())
+    @settings(max_examples=50, deadline=None)
+    def test_associativity(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @given(paulis())
+    @settings(max_examples=50, deadline=None)
+    def test_hermitian_products_square_positively(self, p):
+        sq = p * p
+        assert sq.is_identity and sq.phase == 0
+
+
+class TestHelpers:
+    def test_restricted_and_without(self):
+        p = PauliString({0: "X", 1: "Y", 2: "Z"})
+        assert p.restricted([0, 1]).support == {0, 1}
+        assert p.without([1]).support == {0, 2}
+
+    def test_relabel(self):
+        p = PauliString({0: "X"})
+        assert p.relabel({0: 5}).get(5) == "X"
+
+    def test_equals_up_to_sign(self):
+        assert PauliString({0: "X"}).equals_up_to_sign(PauliString({0: "X"}, 2))
+
+    def test_repr_contains_letters(self):
+        assert "X" in repr(PauliString({3: "X"}))

@@ -1,0 +1,154 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* patch/program the library produces:
+compiled circuits always pass the independent validity replay, patches
+always satisfy the parity-check contract, schedulers never double-book a
+data qubit within a layer, and simulated logical values are deterministic
+given outcomes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.code.arrangements import Arrangement
+from repro.code.patch_layout import PatchLayout
+from repro.code.pauli import PauliString
+from repro.hardware.grid import GridManager
+from repro.hardware.validity import check_circuit
+from repro.util.gf2 import gf2_rank
+from tests.conftest import corrected, fresh_patch, simulate
+
+dims = st.tuples(st.integers(2, 5), st.integers(2, 5))
+arrangements = st.sampled_from(list(Arrangement))
+
+
+class TestPatchInvariants:
+    @given(dims, arrangements)
+    @settings(max_examples=25, deadline=None)
+    def test_any_patch_has_valid_code_structure(self, dxz, arr):
+        dx, dz = dxz
+        grid = GridManager(dz + 2, dx + 2)
+        layout = PatchLayout(grid, dx, dz, arrangement=arr)
+        plaqs = layout.plaquettes()
+        assert len(plaqs) == dx * dz - 1
+        stabs = [p.stabilizer() for p in plaqs]
+        for i, a in enumerate(stabs):
+            for b in stabs[i + 1 :]:
+                assert a.commutes_with(b)
+        z, x = layout.logical_z(), layout.logical_x()
+        assert not z.commutes_with(x)
+        for s in stabs:
+            assert s.commutes_with(z) and s.commutes_with(x)
+
+    @given(dims, arrangements)
+    @settings(max_examples=15, deadline=None)
+    def test_stabilizer_rank_is_n_minus_one(self, dxz, arr):
+        from repro.code.logical_qubit import _symplectic
+
+        dx, dz = dxz
+        grid = GridManager(dz + 2, dx + 2)
+        layout = PatchLayout(grid, dx, dz, arrangement=arr)
+        sites = sorted(layout.data_sites().values())
+        mat = _symplectic([p.stabilizer() for p in layout.plaquettes()], sites)
+        assert gf2_rank(mat) == dx * dz - 1
+
+    @given(dims)
+    @settings(max_examples=15, deadline=None)
+    def test_every_data_qubit_covered_by_both_letters_or_is_corner(self, dxz):
+        """Interior data qubits see X and Z faces; corners may see fewer,
+        but every qubit is covered by at least one face of each letter
+        unless it is one of the four patch corners."""
+        dx, dz = dxz
+        grid = GridManager(dz + 2, dx + 2)
+        layout = PatchLayout(grid, dx, dz)
+        cover: dict[tuple[int, int], set[str]] = {}
+        for p in layout.plaquettes():
+            for ij in p.corners.values():
+                cover.setdefault(ij, set()).add(p.pauli)
+        corners = {(0, 0), (0, dx - 1), (dz - 1, 0), (dz - 1, dx - 1)}
+        for ij, letters in cover.items():
+            if ij not in corners:
+                assert letters == {"X", "Z"}, f"{ij} covered by {letters}"
+
+    @given(dims)
+    @settings(max_examples=10, deadline=None)
+    def test_pocket_visitors_never_clash_in_a_layer(self, dxz):
+        dx, dz = dxz
+        grid = GridManager(dz + 2, dx + 2)
+        layout = PatchLayout(grid, dx, dz)
+        per_layer: dict[int, list[int]] = {}
+        for p in layout.plaquettes():
+            for layer, corner in p.visits():
+                per_layer.setdefault(layer, []).append(p.pockets[corner])
+        for layer, pockets in per_layer.items():
+            assert len(pockets) == len(set(pockets)), f"layer {layer} pocket clash"
+
+
+class TestCompiledCircuitInvariants:
+    @given(st.integers(2, 4), st.sampled_from(["Z", "X"]), st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_prepared_patch_always_valid_and_correct(self, d, basis, seed):
+        grid, _, lq, c, occ0 = fresh_patch(d, d)
+        lq.prepare(c, basis=basis, rounds=1)
+        check_circuit(grid, c, occ0)
+        res = simulate(grid, c, occ0, seed=seed)
+        op = lq.logical_z if basis == "Z" else lq.logical_x
+        assert corrected(res, op) == 1
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=6, deadline=None)
+    def test_simulation_is_deterministic_given_seed(self, seed):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        r1 = simulate(grid, c, occ0, seed=seed)
+        r2 = simulate(grid, c, occ0, seed=seed)
+        assert r1.outcomes == r2.outcomes
+
+    @given(st.lists(st.sampled_from(["X", "Y", "Z"]), min_size=1, max_size=4))
+    @settings(max_examples=12, deadline=None)
+    def test_pauli_words_compose(self, word):
+        """Any sequence of logical Paulis acts as their product."""
+        grid, _, lq, c, occ0 = fresh_patch(2, 2)
+        lq.prepare(c, basis="Z", rounds=1)
+        for w in word:
+            lq.apply_pauli(c, w)
+        res = simulate(grid, c, occ0, seed=1)
+        n_flips = sum(1 for w in word if w in ("X", "Y"))
+        assert corrected(res, lq.logical_z) == (-1) ** n_flips
+
+
+class TestLedgerInvariants:
+    @given(st.integers(0, 4))
+    @settings(max_examples=5, deadline=None)
+    def test_merge_split_ledger_consistency(self, seed):
+        """The frame-corrected conjugate pair is ALWAYS +1 on |++>."""
+        from repro.code.logical_qubit import LogicalQubit
+        from repro.code.patch_ops import merge, split
+        from repro.hardware.circuit import HardwareCircuit
+        from repro.hardware.model import HardwareModel
+
+        grid = GridManager(4, 8)
+        model = HardwareModel(grid)
+        a = LogicalQubit(grid, model, 3, 3, (0, 0), name="A")
+        b = LogicalQubit(grid, model, 3, 3, (0, 4), name="B")
+        occ0 = grid.occupancy()
+        c = HardwareCircuit()
+        a.prepare(c, basis="X", rounds=1)
+        b.prepare(c, basis="X", rounds=1)
+        xa, xb = a.logical_x.pauli, b.logical_x.pauli
+        mr = merge(c, a, b, "horizontal", rounds=1)
+        sr = split(c, mr)
+        res = simulate(grid, c, occ0, seed=seed)
+        frame = 1
+        for lab in sr.frame_labels:
+            frame *= res.sign(lab)
+        assert res.expectation(xa * xb) * frame == 1
+
+    def test_ledger_multiplication_keeps_hermiticity(self):
+        grid, _, lq, c, occ0 = fresh_patch(3, 3)
+        lq.prepare(c, basis="Z", rounds=1)
+        stab = lq.plaquettes[0].stabilizer()
+        updated = lq.logical_z.multiplied_by(stab, "m99")
+        assert updated.pauli.is_hermitian
+        assert "m99" in updated.corrections

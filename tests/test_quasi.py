@@ -1,0 +1,85 @@
+"""Quasi-probability Monte Carlo over Clifford channels (§4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.dense import DenseSimulator
+from repro.sim.gates import rotation_unitary, unitary_for
+from repro.sim.quasi import QuasiCliffordSampler, channel_decomposition, estimate_expectation
+
+
+class TestDecomposition:
+    def test_coefficients_sum_to_one(self):
+        for theta in (math.pi / 8, -math.pi / 8, 0.3, -0.7):
+            coeffs = [c for _, c in channel_decomposition(theta)]
+            assert sum(coeffs) == pytest.approx(1.0)
+
+    def test_t_gate_negativity_is_sqrt2(self):
+        gamma = sum(abs(c) for _, c in channel_decomposition(math.pi / 8))
+        assert gamma == pytest.approx(math.sqrt(2))
+
+    def test_s_angle_is_exactly_the_s_channel(self):
+        decomp = dict(channel_decomposition(math.pi / 4))
+        assert decomp[None] == pytest.approx(0.0, abs=1e-12)
+        assert decomp["Z_pi/2"] == pytest.approx(0.0, abs=1e-12)
+        assert decomp["Z_pi/4"] == pytest.approx(1.0)
+
+    def test_negative_angle_uses_s_dagger(self):
+        gates = [g for g, _ in channel_decomposition(-math.pi / 8)]
+        assert "Z_-pi/4" in gates
+
+    @pytest.mark.parametrize("theta", [math.pi / 8, -math.pi / 8, 0.2])
+    def test_channel_exact_on_density_matrices(self, theta):
+        """sum_k c_k C_k rho C_k^dag == T rho T^dag for random rho."""
+        rng = np.random.default_rng(5)
+        t = rotation_unitary("Z", theta)
+        for _ in range(5):
+            v = rng.normal(size=2) + 1j * rng.normal(size=2)
+            v /= np.linalg.norm(v)
+            rho = np.outer(v, v.conj())
+            expected = t @ rho @ t.conj().T
+            total = np.zeros((2, 2), dtype=complex)
+            for gate, c in channel_decomposition(theta):
+                u = np.eye(2) if gate is None else unitary_for(gate)
+                total += c * (u @ rho @ u.conj().T)
+            assert np.allclose(total, expected, atol=1e-12)
+
+
+class TestSampler:
+    def test_sample_weights(self):
+        sampler = QuasiCliffordSampler()
+        rng = np.random.default_rng(0)
+        gamma = sampler.negativity("Z_pi/8")
+        for _ in range(50):
+            gate, w = sampler.sample("Z_pi/8", rng)
+            assert abs(w) == pytest.approx(gamma)
+            assert gate in (None, "Z_pi/2", "Z_pi/4")
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            QuasiCliffordSampler().sample("X_pi/8", np.random.default_rng(0))
+
+    def test_unbiased_t_expectation(self):
+        """Monte Carlo <X> after T|+> converges to 1/sqrt(2)."""
+        sampler = QuasiCliffordSampler()
+        rng = np.random.default_rng(42)
+
+        def shot(_k):
+            sim = DenseSimulator(1)
+            sim.apply("Y_pi/4", (0,))  # |+>
+            gate, w = sampler.sample("Z_pi/8", rng)
+            if gate is not None:
+                sim.apply(gate, (0,))
+            from repro.code.pauli import PauliString
+
+            return sim.expectation(PauliString({0: "X"})), w
+
+        mean, err = estimate_expectation(shot, 4000)
+        assert mean == pytest.approx(1 / math.sqrt(2), abs=5 * err)
+        assert err < 0.05
+
+    def test_estimate_needs_two_shots(self):
+        with pytest.raises(ValueError):
+            estimate_expectation(lambda k: (1.0, 1.0), 1)

@@ -1,0 +1,166 @@
+"""Lattice-surgery CNOT, Bell chains, the TISCC facade, and the CLI."""
+
+import pytest
+
+from repro.core.compiler import TISCC
+from repro.core.router import bell_chain, lattice_surgery_cnot
+from repro.hardware.circuit import HardwareCircuit
+from repro.sim.interpreter import CircuitInterpreter
+
+
+def cnot_setup(d=2):
+    compiler = TISCC(dx=d, dz=d, tile_rows=2, tile_cols=2, rounds=1)
+    circuit = HardwareCircuit()
+    occ0 = compiler.tiles.occupancy_snapshot()
+    return compiler, circuit, occ0
+
+
+class TestCnot:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cnot_on_10(self, seed):
+        compiler, c, occ0 = cnot_setup()
+        ops = compiler.ops
+        ops.prepare_z(c, (0, 0))
+        ops.pauli(c, (0, 0), "X")
+        ops.prepare_z(c, (1, 1))
+        r = lattice_surgery_cnot(ops, c, (0, 0), (1, 1), (0, 1))
+        mc = ops.measure(c, (0, 0), "Z")
+        mt = ops.measure(c, (1, 1), "Z")
+        res = CircuitInterpreter(compiler.grid, seed=seed).run(c, occ0)
+        zc = mc.value(res)
+        zt = mt.value(res) * (-1 if r.x_on_target(res) else 1)
+        assert (zc, zt) == (-1, -1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cnot_on_00(self, seed):
+        compiler, c, occ0 = cnot_setup()
+        ops = compiler.ops
+        ops.prepare_z(c, (0, 0))
+        ops.prepare_z(c, (1, 1))
+        r = lattice_surgery_cnot(ops, c, (0, 0), (1, 1), (0, 1))
+        mc = ops.measure(c, (0, 0), "Z")
+        mt = ops.measure(c, (1, 1), "Z")
+        res = CircuitInterpreter(compiler.grid, seed=100 + seed).run(c, occ0)
+        zt = mt.value(res) * (-1 if r.x_on_target(res) else 1)
+        assert (mc.value(res), zt) == (1, 1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cnot_creates_bell_from_plus(self, seed):
+        compiler, c, occ0 = cnot_setup()
+        ops = compiler.ops
+        ops.prepare_x(c, (0, 0))
+        ops.prepare_z(c, (1, 1))
+        r = lattice_surgery_cnot(ops, c, (0, 0), (1, 1), (0, 1))
+        mc = ops.measure(c, (0, 0), "X")
+        mt = ops.measure(c, (1, 1), "X")
+        res = CircuitInterpreter(compiler.grid, seed=200 + seed).run(c, occ0)
+        xc = mc.value(res) * (-1 if r.z_on_control(res) else 1)
+        assert xc * mt.value(res) == 1
+
+    def test_geometry_requirements(self):
+        compiler, c, _ = cnot_setup()
+        ops = compiler.ops
+        ops.prepare_z(c, (0, 0))
+        ops.prepare_z(c, (1, 0))
+        with pytest.raises(ValueError):
+            lattice_surgery_cnot(ops, c, (0, 0), (1, 0), (0, 1))
+
+
+class TestBellChain:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_tile_chain(self, seed):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        c = HardwareCircuit()
+        occ0 = compiler.tiles.occupancy_snapshot()
+        chain = bell_chain(compiler.ops, c, [(0, 0), (0, 1)])
+        mza = compiler.ops.measure(c, (0, 0), "Z")
+        mzb = compiler.ops.measure(c, (0, 1), "Z")
+        res = CircuitInterpreter(compiler.grid, seed=seed).run(c, occ0)
+        assert mza.value(res) * mzb.value(res) == chain.zz_sign(res)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_four_tile_chain_entanglement_swap(self, seed):
+        """§2.1: two time-steps of local ops entangle remote tiles."""
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=4, rounds=1)
+        c = HardwareCircuit()
+        occ0 = compiler.tiles.occupancy_snapshot()
+        path = [(0, 0), (0, 1), (0, 2), (0, 3)]
+        chain = bell_chain(compiler.ops, c, path)
+        assert chain.logical_timesteps == 2
+        mza = compiler.ops.measure(c, (0, 0), "Z")
+        mzb = compiler.ops.measure(c, (0, 3), "Z")
+        res = CircuitInterpreter(compiler.grid, seed=seed).run(c, occ0)
+        assert mza.value(res) * mzb.value(res) == chain.zz_sign(res)
+
+    def test_odd_path_rejected(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=3, rounds=1)
+        with pytest.raises(ValueError):
+            bell_chain(compiler.ops, HardwareCircuit(), [(0, 0), (0, 1), (0, 2)])
+
+
+class TestCompilerFacade:
+    def test_compile_and_simulate(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile(
+            [("PrepareZ", (0, 0)), ("PrepareZ", (0, 1)), ("MeasureZZ", (0, 0), (0, 1))]
+        )
+        assert compiled.validity is not None
+        assert compiled.resources is not None
+        assert compiled.logical_timesteps == 3
+        res = compiler.simulate(compiled, seed=1)
+        assert compiled.results[-1].value(res) == 1  # |00> has ZZ=+1
+
+    def test_unknown_mnemonic(self):
+        compiler = TISCC(dx=2, dz=2, rounds=1)
+        with pytest.raises(ValueError):
+            compiler.compile([("Teleport", (0, 0))])
+
+    def test_to_text_roundtrip(self):
+        from repro.sim.parser import parse_circuit
+
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=1, rounds=1)
+        compiled = compiler.compile([("PrepareZ", (0, 0))])
+        parsed = parse_circuit(compiled.to_text(), compiler.grid)
+        assert len(parsed) == len(compiled.circuit)
+
+    def test_simulation_of_parsed_text_matches(self):
+        from repro.sim.parser import parse_circuit
+
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=1, rounds=1)
+        compiled = compiler.compile([("PrepareZ", (0, 0)), ("MeasureZ", (0, 0))])
+        parsed = parse_circuit(compiled.to_text(), compiler.grid)
+        r1 = CircuitInterpreter(compiler.grid, seed=3).run(
+            compiled.circuit, compiled.initial_occupancy
+        )
+        r2 = CircuitInterpreter(compiler.grid, seed=3).run(
+            parsed, compiled.initial_occupancy
+        )
+        assert r1.outcomes == r2.outcomes
+
+
+class TestCli:
+    def test_compile_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compile", "--op", "PrepareZ", "--dx", "2", "--dz", "2",
+                     "--rounds", "1", "--resources", "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled PrepareZ" in out
+        assert "operation" in out
+
+    def test_render_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["render", "--dx", "3", "--dz", "3"]) == 0
+        assert "STANDARD" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "--op", "Idle", "--distances", "2", "--rounds", "1"]) == 0
+        assert "Idle" in capsys.readouterr().out
+
+    def test_unknown_op(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compile", "--op", "Nope"]) == 2

@@ -1,0 +1,146 @@
+"""Stabilizer tableau vs exact dense simulation, and measurement semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.code.pauli import PauliString
+from repro.sim.dense import DenseSimulator
+from repro.sim.gates import CLIFFORD_GATES, apply_to_tableau
+from repro.sim.tableau import StabilizerTableau
+
+GATES_1Q = sorted(g for g in CLIFFORD_GATES if g != "ZZ")
+
+
+def random_circuit(n, depth, seed):
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(depth):
+        if n >= 2 and rng.random() < 0.3:
+            a, b = rng.choice(n, 2, replace=False)
+            ops.append(("ZZ", (int(a), int(b))))
+        else:
+            ops.append((GATES_1Q[rng.integers(len(GATES_1Q))], (int(rng.integers(n)),)))
+    return ops
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clifford_expectations(self, seed):
+        n = 4
+        tab, den = StabilizerTableau(n), DenseSimulator(n)
+        for name, qubits in random_circuit(n, 50, seed):
+            apply_to_tableau(tab, name, qubits)
+            den.apply(name, qubits)
+        rng = np.random.default_rng(seed + 1000)
+        for _ in range(60):
+            ops = {q: "IXYZ"[rng.integers(4)] for q in range(n)}
+            ops = {q: p for q, p in ops.items() if p != "I"}
+            if not ops:
+                continue
+            p = PauliString(ops)
+            assert tab.expectation(p) == pytest.approx(den.expectation(p), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_forced_measurement_trajectories_agree(self, seed):
+        n = 3
+        tab, den = StabilizerTableau(n), DenseSimulator(n)
+        rng = np.random.default_rng(seed)
+        for k, (name, qubits) in enumerate(random_circuit(n, 30, seed + 7)):
+            apply_to_tableau(tab, name, qubits)
+            den.apply(name, qubits)
+            if k % 7 == 3:
+                q = int(rng.integers(n))
+                md, det_d = den.measure(q, rng)
+                mt, det_t = tab.measure(q, forced=md)
+                assert mt == md
+                assert det_t == det_d
+
+    def test_hermiticity_required(self):
+        tab = StabilizerTableau(2)
+        with pytest.raises(ValueError):
+            tab.expectation(PauliString({0: "X"}, phase=1))
+
+
+class TestMeasurement:
+    def test_fresh_state_deterministic_zero(self):
+        tab = StabilizerTableau(3)
+        for q in range(3):
+            outcome, deterministic = tab.measure(q)
+            assert outcome == 0 and deterministic
+
+    def test_plus_state_random_then_pinned(self):
+        tab = StabilizerTableau(1)
+        tab.h(0)
+        outcome, deterministic = tab.measure(0, np.random.default_rng(3))
+        assert not deterministic
+        again, det2 = tab.measure(0)
+        assert det2 and again == outcome
+
+    def test_bell_correlations(self):
+        for seed in range(6):
+            tab = StabilizerTableau(2)
+            tab.h(0)
+            tab.cnot(0, 1)
+            assert tab.expectation(PauliString({0: "X", 1: "X"})) == 1
+            assert tab.expectation(PauliString({0: "Z", 1: "Z"})) == 1
+            assert tab.expectation(PauliString({0: "Z"})) == 0
+            m0, _ = tab.measure(0, np.random.default_rng(seed))
+            m1, det = tab.measure(1)
+            assert det and m0 == m1
+
+    def test_forced_contradiction_raises(self):
+        tab = StabilizerTableau(1)
+        with pytest.raises(ValueError):
+            tab.measure(0, forced=1)
+
+    def test_reset(self):
+        tab = StabilizerTableau(1)
+        tab.h(0)
+        tab.reset(0, np.random.default_rng(0))
+        assert tab.expectation(PauliString({0: "Z"})) == 1
+
+
+class TestGenerators:
+    def test_initial_generators(self):
+        tab = StabilizerTableau(2)
+        gens = tab.stabilizer_generators()
+        assert PauliString({0: "Z"}) in gens
+        assert PauliString({1: "Z"}) in gens
+
+    def test_generators_after_bell(self):
+        tab = StabilizerTableau(2)
+        tab.h(0)
+        tab.cnot(0, 1)
+        gens = tab.stabilizer_generators()
+        assert PauliString({0: "X", 1: "X"}) in gens
+        assert PauliString({0: "Z", 1: "Z"}) in gens
+
+    def test_row_pauli_phases(self):
+        tab = StabilizerTableau(1)
+        tab.h(0)
+        tab.s(0)  # |0> -> S|+> = |+i>, stabilizer +Y
+        assert tab.stabilizer_generators() == [PauliString({0: "Y"})]
+
+    def test_zz_gate_matches_its_definition(self):
+        # ZZ = (S x S) CZ up to phase: check conjugation of X_0.
+        tab = StabilizerTableau(2)
+        tab.h(0)  # stabilizers: X0, Z1
+        tab.zz(0, 1)
+        gens = tab.stabilizer_generators()
+        assert PauliString({0: "Y", 1: "Z"}) in gens  # X0 -> Y0 Z1
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_copy_is_independent(seed):
+    tab = StabilizerTableau(3)
+    for name, qubits in random_circuit(3, 20, seed):
+        apply_to_tableau(tab, name, qubits)
+    clone = tab.copy()
+    clone.h(0)
+    assert not (
+        np.array_equal(clone.x, tab.x)
+        and np.array_equal(clone.z, tab.z)
+        and np.array_equal(clone.r, tab.r)
+    )

@@ -1,0 +1,85 @@
+"""TileGrid placement/bookkeeping and the estimator front end."""
+
+import pytest
+
+from repro.core.tiles import TileGrid
+from repro.estimator.report import format_resource_table
+from repro.estimator.sweep import OPERATION_PROGRAMS, sweep_all, sweep_operation
+from repro.hardware.circuit import HardwareCircuit
+
+
+class TestTileGrid:
+    def test_tile_origins_are_merge_compatible(self):
+        tg = TileGrid(2, 2, 3, 3)
+        assert tg[(0, 0)].origin == (0, 0)
+        assert tg[(0, 1)].origin == (0, 4)  # tile_cols(3) = 4
+        assert tg[(1, 0)].origin == (4, 0)
+
+    def test_even_distance_tiles_are_wider(self):
+        tg = TileGrid(1, 2, 4, 4)
+        assert tg[(0, 1)].origin == (0, 6)  # tile_cols(4) = 6: two strips
+
+    def test_all_tiles_hold_parked_ions(self):
+        tg = TileGrid(1, 2, 2, 2)
+        occ = tg.occupancy_snapshot()
+        per_tile = 2 * 2 + (2 * 2 - 1)
+        assert len(occ) == 2 * per_tile
+
+    def test_uninitialized_until_prepared(self):
+        tg = TileGrid(1, 1, 2, 2)
+        assert not tg[(0, 0)].initialized
+        lq = tg.new_patch((0, 0))
+        lq.transversal_prepare(HardwareCircuit(), "Z")
+        lq.initialized = True
+        assert tg[(0, 0)].initialized
+
+    def test_require_helpers(self):
+        tg = TileGrid(1, 1, 2, 2)
+        with pytest.raises(ValueError):
+            tg.require_initialized((0, 0))
+        tg.require_uninitialized((0, 0))
+
+    def test_missing_tile(self):
+        tg = TileGrid(1, 1, 2, 2)
+        with pytest.raises(KeyError):
+            tg[(5, 5)]
+
+    def test_neighbors(self):
+        tg = TileGrid(2, 2, 2, 2)
+        n = tg.neighbors((0, 0))
+        assert n == {"down": (1, 0), "right": (0, 1)}
+
+    def test_orientation_between(self):
+        tg = TileGrid(2, 2, 2, 2)
+        assert tg.orientation_between((0, 0), (0, 1))[0] == "horizontal"
+        assert tg.orientation_between((1, 0), (0, 0)) == ("vertical", (0, 0), (1, 0))
+        with pytest.raises(ValueError):
+            tg.orientation_between((0, 0), (1, 1))
+
+    def test_grid_shape_too_small(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 1, 3, 3)
+
+
+class TestEstimatorFrontEnd:
+    def test_all_programs_compile_at_d2(self):
+        results = sweep_all([2], rounds=1)
+        assert set(results) == set(OPERATION_PROGRAMS)
+        for name, reports in results.items():
+            assert reports[0].n_instructions > 0, name
+
+    def test_reports_carry_distances(self):
+        reports = sweep_operation("MeasureXX", [2, 3], rounds=1)
+        assert [(r.dx, r.dz) for r in reports] == [(2, 2), (3, 3)]
+
+    def test_table_contains_all_columns(self):
+        table = format_resource_table(sweep_operation("PrepareZ", [2], rounds=1))
+        for col in ("time_s", "area_m2", "volume_s_m2", "zones",
+                    "zone_s", "active_zone_s", "n_instr"):
+            assert col in table
+
+    def test_movement_heavy_ops_cost_more_active_time(self):
+        idle = sweep_operation("Idle", [3], rounds=1)[0]
+        prep = sweep_operation("PrepareZ", [3], rounds=1)[0]
+        # Idle = prep + an extra round: strictly more active zone-seconds.
+        assert idle.active_zone_seconds > prep.active_zone_seconds

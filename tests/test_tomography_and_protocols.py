@@ -1,0 +1,132 @@
+"""State/process tomography machinery and the §4 verification protocols."""
+
+import numpy as np
+import pytest
+
+from repro.code.arrangements import Arrangement
+from repro.code.corner import flip_patch
+from repro.code.translation import move_right_swap_left
+from repro.sim.gates import PAULI_X, PAULI_Z
+from repro.verify.tomography import (
+    IDEAL_CHI,
+    INPUT_STATES_1Q,
+    chi_matrix_1q,
+    chi_of_unitary,
+    fidelity,
+    state_tomography_1q,
+)
+from repro.verify.protocols import (
+    verify_one_tile_identity,
+    verify_preparation,
+    verify_process,
+)
+
+
+class TestTomographyMath:
+    def test_state_reconstruction(self):
+        rho = state_tomography_1q(1.0, 0.0, 0.0)
+        assert np.allclose(rho, INPUT_STATES_1Q["+"])
+
+    def test_chi_of_identity_channel(self):
+        outputs = {k: v.copy() for k, v in INPUT_STATES_1Q.items()}
+        chi = chi_matrix_1q(outputs)
+        assert fidelity(chi, IDEAL_CHI["I"]) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name,u", [
+        ("X", PAULI_X), ("Z", PAULI_Z),
+        ("H", (PAULI_X + PAULI_Z) / np.sqrt(2)), ("S", np.diag([1, 1j])),
+    ])
+    def test_chi_of_unitary_channels(self, name, u):
+        outputs = {k: u @ rho @ u.conj().T for k, rho in INPUT_STATES_1Q.items()}
+        chi = chi_matrix_1q(outputs)
+        assert fidelity(chi, IDEAL_CHI[name]) == pytest.approx(1.0)
+        # And it is distinguishable from the identity.
+        assert fidelity(chi, IDEAL_CHI["I"]) < 0.99
+
+    def test_chi_trace_one(self):
+        outputs = {k: v.copy() for k, v in INPUT_STATES_1Q.items()}
+        assert np.trace(chi_matrix_1q(outputs)).real == pytest.approx(1.0)
+
+    def test_chi_of_unitary_is_rank_one(self):
+        chi = chi_of_unitary((PAULI_X + PAULI_Z) / np.sqrt(2))
+        eigs = np.linalg.eigvalsh(chi)
+        assert eigs[-1] == pytest.approx(1.0)
+        assert abs(eigs[0]) < 1e-12
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(ValueError):
+            chi_matrix_1q({"0": INPUT_STATES_1Q["0"]})
+
+
+class TestPreparationVerification:
+    """§4.2: state tomography of preparation circuits, all arrangements."""
+
+    @pytest.mark.parametrize("arr", list(Arrangement))
+    @pytest.mark.parametrize("state", ["0", "+", "+i"])
+    def test_fidelity_is_one(self, arr, state):
+        assert verify_preparation(3, 3, arr, state) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("dx,dz", [(2, 2), (4, 3), (2, 3)])
+    def test_even_and_mixed_distances(self, dx, dz):
+        assert verify_preparation(dx, dz, Arrangement.STANDARD, "0") == pytest.approx(1.0)
+
+    def test_with_and_without_extra_round(self):
+        """§4.2: the final round of syndrome extraction does not change the
+        result — encoded states are unaltered by syndrome extraction."""
+        f1 = verify_preparation(3, 3, Arrangement.STANDARD, "+i", rounds=1)
+        f2 = verify_preparation(3, 3, Arrangement.STANDARD, "+i", rounds=2)
+        assert f1 == pytest.approx(f2) == pytest.approx(1.0)
+
+
+class TestOneTileProcesses:
+    """§4.3: process tomography of one-tile operations."""
+
+    @pytest.mark.parametrize("arr", list(Arrangement))
+    def test_idle_is_identity(self, arr):
+        fid = verify_one_tile_identity(
+            3, 3, arr, lambda lq, c: lq.idle(c, rounds=1) and None
+        )
+        assert fid == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("which", ["X", "Y", "Z"])
+    def test_logical_paulis(self, which):
+        fid = verify_process(
+            3, 3, Arrangement.STANDARD,
+            lambda lq, c: lq.apply_pauli(c, which),
+            ideal=which,
+        )
+        assert fid == pytest.approx(1.0)
+
+    def test_hadamard_process(self):
+        def apply(lq, c):
+            lq.transversal_hadamard(c)
+            lq.idle(c, rounds=1)
+
+        fid = verify_process(3, 3, Arrangement.STANDARD, apply, ideal="H")
+        assert fid == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("start", [Arrangement.STANDARD, Arrangement.ROTATED])
+    def test_flip_patch_is_identity(self, start):
+        def apply(lq, c):
+            flip_patch(lq, c)
+            lq.idle(c, rounds=1)
+            return lq
+
+        fid = verify_one_tile_identity(3, 3, start, apply)
+        assert fid == pytest.approx(1.0)
+
+    def test_move_right_swap_left_is_identity(self):
+        def apply(lq, c):
+            final, _ = move_right_swap_left(c, lq, rounds=1)
+            final.idle(c, rounds=1)
+            return final
+
+        fid = verify_one_tile_identity(3, 3, Arrangement.STANDARD, apply, margin=(2, 6))
+        assert fid == pytest.approx(1.0)
+
+    def test_non_identity_is_detected(self):
+        """The harness distinguishes X from identity (sanity of the method)."""
+        fid = verify_one_tile_identity(
+            2, 2, Arrangement.STANDARD, lambda lq, c: lq.apply_pauli(c, "X")
+        )
+        assert fid < 0.9
