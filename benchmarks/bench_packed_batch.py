@@ -1,0 +1,140 @@
+"""Throughput: packed-batched shot engine vs looped single-shot interpreter.
+
+Acceptance target for the batched backend: >= 10x shots/sec over a loop of
+single-shot :class:`~repro.sim.interpreter.CircuitInterpreter` replays at
+d=5 with 1000 shots.  The interpreter loop is timed over a subsample and
+extrapolated (it is the slow side — that is the point).
+
+Run directly::
+
+    python benchmarks/bench_packed_batch.py            # full d=5, 1000 shots
+    python benchmarks/bench_packed_batch.py --quick    # CI smoke: d=3, 200 shots
+
+or via pytest (quick scale): ``pytest benchmarks/bench_packed_batch.py -s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.compiler import TISCC
+from repro.sim.batch import BatchRunner
+from repro.sim.interpreter import CircuitInterpreter
+
+try:
+    from benchmarks.conftest import print_table
+except ImportError:  # pragma: no cover - direct script execution
+    from conftest import print_table
+
+
+def compare_throughput(
+    d: int = 5,
+    shots: int = 1000,
+    interp_shots: int = 25,
+    seed: int = 0,
+    op: str = "Idle",
+) -> dict:
+    """Time batched (both rng modes) vs looped single-shot simulation."""
+    compiler = TISCC(dx=d, dz=d, tile_rows=1, tile_cols=1)
+    compiled = compiler.compile(
+        [("PrepareZ", (0, 0)), (op, (0, 0))], operation=op
+    )
+    runner = BatchRunner(compiler.grid)
+
+    t0 = time.perf_counter()
+    batch = runner.run_shots(
+        compiled.circuit, compiled.initial_occupancy, shots,
+        seed=seed, independent_streams=False,
+    )
+    t_shared = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    runner.run_shots(
+        compiled.circuit, compiled.initial_occupancy, shots,
+        seed=seed, independent_streams=True,
+    )
+    t_per_shot = time.perf_counter() - t0
+
+    k = min(interp_shots, shots)
+    t0 = time.perf_counter()
+    for j in range(k):
+        CircuitInterpreter(compiler.grid, seed=seed + j).run(
+            compiled.circuit, compiled.initial_occupancy
+        )
+    t_loop = (time.perf_counter() - t0) / k * shots
+
+    return {
+        "d": d,
+        "shots": shots,
+        "instructions": len(compiled.circuit),
+        "n_labels": len(batch.outcomes),
+        "t_batch_shared": t_shared,
+        "t_batch_per_shot": t_per_shot,
+        "t_loop_extrapolated": t_loop,
+        "loop_sample": k,
+        "speedup_shared": t_loop / t_shared,
+        "speedup_per_shot": t_loop / t_per_shot,
+    }
+
+
+def report(res: dict) -> None:
+    print_table(
+        f"packed-batched vs single-shot throughput "
+        f"(d={res['d']}, {res['shots']} shots, {res['instructions']} instructions)",
+        ["engine", "time [s]", "shots/s", "speedup"],
+        [
+            [
+                "CircuitInterpreter loop",
+                f"{res['t_loop_extrapolated']:.2f}",
+                f"{res['shots'] / res['t_loop_extrapolated']:.1f}",
+                "1.0x",
+            ],
+            [
+                "BatchRunner (per-shot streams)",
+                f"{res['t_batch_per_shot']:.2f}",
+                f"{res['shots'] / res['t_batch_per_shot']:.1f}",
+                f"{res['speedup_per_shot']:.1f}x",
+            ],
+            [
+                "BatchRunner (shared stream)",
+                f"{res['t_batch_shared']:.2f}",
+                f"{res['shots'] / res['t_batch_shared']:.1f}",
+                f"{res['speedup_shared']:.1f}x",
+            ],
+        ],
+    )
+    print(
+        f"(interpreter loop extrapolated from {res['loop_sample']} shots; "
+        f"target >= 10x at d=5, 1000 shots)"
+    )
+
+
+def test_packed_batch_speedup():
+    """Quick-scale pytest entry: the batched engine must be clearly faster."""
+    res = compare_throughput(d=3, shots=200, interp_shots=20)
+    report(res)
+    assert res["speedup_shared"] > 3.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (d=3, 200 shots)"
+    )
+    parser.add_argument("--d", type=int, default=None, help="code distance override")
+    parser.add_argument("--shots", type=int, default=None)
+    args = parser.parse_args(argv)
+    d = args.d if args.d is not None else (3 if args.quick else 5)
+    shots = args.shots if args.shots is not None else (200 if args.quick else 1000)
+    res = compare_throughput(d=d, shots=shots, interp_shots=20 if args.quick else 25)
+    report(res)
+    if not args.quick and res["speedup_shared"] < 10.0:
+        print("WARNING: speedup below the 10x acceptance target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Batched quasi-Clifford sampling through the TISCC facade (§4.1).
+
+The batched counterpart of ``t_injection_workflow.py``: instead of looping
+one ``CircuitInterpreter`` shot at a time, ``TISCC.simulate_shots`` replays
+the compiled T-injection circuit across thousands of shots in single
+vectorized passes on the packed stabilizer backend.  Per-shot measurement
+bitmaps, quasi-probability weights, and Pauli-frame signs come back as
+arrays, so the §4.5 post-processing (folding frame corrections into logical
+expectations) is a few NumPy lines.
+
+Run:  python examples/batched_sampling.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.compiler import TISCC
+from repro.estimator.report import format_outcome_summary
+
+
+def main() -> None:
+    compiler = TISCC(dx=3, dz=3, tile_rows=1, tile_cols=1)
+    compiled = compiler.compile([("InjectT", (0, 0))], operation="InjectT")
+    print(
+        f"compiled T injection: {len(compiled.circuit)} native instructions "
+        f"({compiled.circuit.count('Z_pi/8')} non-Clifford gate)"
+    )
+
+    shots = 4000
+    t0 = time.perf_counter()
+    batch = compiler.simulate_shots(
+        compiled, shots, seed=11, independent_streams=False
+    )
+    elapsed = time.perf_counter() - t0
+    print(f"{shots} shots in {elapsed:.2f} s ({shots / elapsed:.0f} shots/s)\n")
+
+    lq = compiler.tiles[(0, 0)].patch
+    ideal = {"X_L": 1 / np.sqrt(2), "Y_L": 1 / np.sqrt(2), "Z_L": 0.0}
+    for name, op in (
+        ("X_L", lq.logical_x),
+        ("Y_L", lq.logical_y()),
+        ("Z_L", lq.logical_z),
+    ):
+        values = batch.expectation(op.pauli).astype(float)
+        for label in op.corrections:
+            values = values * batch.sign(label)  # §4.5 post-processing
+        mean, err = batch.estimate(values)
+        sigma = abs(mean - ideal[name]) / err if err > 0 else 0.0
+        print(
+            f"  <{name}> = {mean:+.3f} ± {err:.3f}   "
+            f"ideal {ideal[name]:+.3f}   ({sigma:.1f} sigma)"
+        )
+
+    print(
+        f"\nsample variance amplified by gamma^2 = 2 per T gate (§4.1); "
+        "outcome distribution of the first syndrome labels:"
+    )
+    print(format_outcome_summary(batch, limit=6))
+
+
+if __name__ == "__main__":
+    main()

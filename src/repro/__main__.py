@@ -8,15 +8,21 @@ Examples::
     tiscc compile --op Idle --dx 5 --dz 5 --print-circuit
     tiscc render --dx 3 --dz 3
     tiscc sweep --op Idle --distances 3 5 7
+    tiscc sample --op MeasureZZ --dx 3 --dz 3 --shots 500 --seed 1
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.code.arrangements import Arrangement
-from repro.estimator.report import format_resource_table
+from repro.estimator.report import (
+    format_logical_summary,
+    format_outcome_summary,
+    format_resource_table,
+)
 from repro.estimator.sweep import OPERATION_PROGRAMS, sweep_operation
 
 __all__ = ["main"]
@@ -51,6 +57,37 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             r.name: r.value(result) for r in compiled.results if r.value is not None
         }
         print(f"# simulated (seed {args.seed}); logical outcomes: {outcomes}")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.core.compiler import TISCC
+
+    try:
+        build, shape = OPERATION_PROGRAMS[args.op]
+    except KeyError:
+        print(f"unknown operation {args.op!r}; choose from {sorted(OPERATION_PROGRAMS)}")
+        return 2
+    if args.shots < 1:
+        print("--shots must be at least 1")
+        return 2
+    compiler = TISCC(
+        dx=args.dx, dz=args.dz, tile_rows=shape[0], tile_cols=shape[1], rounds=args.rounds
+    )
+    compiled = compiler.compile(build(), operation=args.op)
+    t0 = time.perf_counter()
+    batch = compiler.simulate_shots(
+        compiled, args.shots, seed=args.seed, independent_streams=not args.fast
+    )
+    elapsed = time.perf_counter() - t0
+    print(
+        f"# sampled {args.op} (dx={args.dx}, dz={args.dz}): {args.shots} shots in "
+        f"{elapsed:.3f} s ({args.shots / elapsed:.0f} shots/s, "
+        f"{'shared-stream' if args.fast else 'per-shot-stream'} mode, seed {args.seed})"
+    )
+    print(format_logical_summary(compiled, batch, title="logical outcomes"))
+    if args.outcomes:
+        print(format_outcome_summary(batch, title="measurement outcomes", limit=args.max_labels))
     return 0
 
 
@@ -93,6 +130,26 @@ def main(argv: list[str] | None = None) -> int:
     p_compile.add_argument("--simulate", action="store_true")
     p_compile.add_argument("--seed", type=int, default=0)
     p_compile.set_defaults(fn=_cmd_compile)
+
+    p_sample = sub.add_parser(
+        "sample", help="batched Monte-Carlo sampling of one operation (§4.1)"
+    )
+    p_sample.add_argument("--op", required=True)
+    p_sample.add_argument("--dx", type=int, default=3)
+    p_sample.add_argument("--dz", type=int, default=3)
+    p_sample.add_argument("--rounds", type=int, default=None)
+    p_sample.add_argument("--shots", type=int, default=500)
+    p_sample.add_argument("--seed", type=int, default=0)
+    p_sample.add_argument(
+        "--fast",
+        action="store_true",
+        help="one shared rng stream (fastest; not relatable to single-shot replays)",
+    )
+    p_sample.add_argument(
+        "--outcomes", action="store_true", help="also print per-label outcome statistics"
+    )
+    p_sample.add_argument("--max-labels", type=int, default=16)
+    p_sample.set_defaults(fn=_cmd_sample)
 
     p_render = sub.add_parser("render", help="render a patch layout (Fig 1/Fig 2)")
     p_render.add_argument("--dx", type=int, default=3)

@@ -21,6 +21,7 @@ from repro.core.tiles import TileGrid
 from repro.hardware.circuit import HardwareCircuit
 from repro.hardware.resources import ResourceReport, estimate_resources
 from repro.hardware.validity import ValidityReport, check_circuit
+from repro.sim.batch import BatchResult, BatchRunner
 from repro.sim.interpreter import CircuitInterpreter, RunResult
 
 __all__ = ["TISCC", "CompiledOperation"]
@@ -134,3 +135,29 @@ class TISCC:
         """Replay a compiled operation on the stabilizer backend."""
         interp = CircuitInterpreter(self.grid, seed=seed)
         return interp.run(compiled.circuit, compiled.initial_occupancy)
+
+    def simulate_shots(
+        self,
+        compiled: CompiledOperation,
+        n_shots: int,
+        seed: int | None = 0,
+        forced_outcomes: dict | None = None,
+        independent_streams: bool = True,
+    ) -> BatchResult:
+        """Replay a compiled operation across a whole batch of Monte-Carlo shots.
+
+        Runs on the packed batched backend (:mod:`repro.sim.batch`): outcome
+        bitmaps, determinism flags, and quasi-probability weights come back
+        as per-shot arrays.  With ``independent_streams`` (default) shot
+        ``k`` reproduces ``simulate(compiled, seed + k)`` exactly; turn it
+        off for maximum throughput when only batch statistics matter.
+        """
+        runner = BatchRunner(self.grid)
+        return runner.run_shots(
+            compiled.circuit,
+            compiled.initial_occupancy,
+            n_shots,
+            seed=seed,
+            forced_outcomes=forced_outcomes,
+            independent_streams=independent_streams,
+        )

@@ -1,6 +1,21 @@
-"""Resource-estimation front end (paper §3.4): reports and parameter sweeps."""
+"""Resource-estimation front end (paper §3.4): reports, parameter sweeps,
+and batched shot statistics (logical-error / outcome summaries)."""
 
-from repro.estimator.report import format_resource_table
+from repro.estimator.report import (
+    format_logical_summary,
+    format_outcome_summary,
+    format_resource_table,
+    logical_outcome_statistics,
+    outcome_statistics,
+)
 from repro.estimator.sweep import sweep_operation, OPERATION_PROGRAMS
 
-__all__ = ["format_resource_table", "sweep_operation", "OPERATION_PROGRAMS"]
+__all__ = [
+    "format_resource_table",
+    "format_outcome_summary",
+    "format_logical_summary",
+    "outcome_statistics",
+    "logical_outcome_statistics",
+    "sweep_operation",
+    "OPERATION_PROGRAMS",
+]

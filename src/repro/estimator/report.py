@@ -1,10 +1,19 @@
-"""Tabular formatting of resource estimates (paper §3.4)."""
+"""Tabular formatting of resource estimates (paper §3.4) and of batched
+shot statistics (logical-error / outcome summaries over the §4 sampler)."""
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hardware.resources import ResourceReport
 
-__all__ = ["format_resource_table"]
+__all__ = [
+    "format_resource_table",
+    "outcome_statistics",
+    "format_outcome_summary",
+    "logical_outcome_statistics",
+    "format_logical_summary",
+]
 
 
 def format_resource_table(reports: list[ResourceReport], title: str = "") -> str:
@@ -15,4 +24,112 @@ def format_resource_table(reports: list[ResourceReport], title: str = "") -> str
         lines.append("=" * len(title))
     lines.append(ResourceReport.header())
     lines.extend(r.row() for r in reports)
+    return "\n".join(lines)
+
+
+def _table(header: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(header, widths))]
+    lines += ["  ".join(str(v).ljust(w) for v, w in zip(row, widths)) for row in rows]
+    return "\n".join(lines)
+
+
+def outcome_statistics(batch) -> list[dict]:
+    """Per-label statistics of a :class:`~repro.sim.batch.BatchResult`.
+
+    One row per measurement label, in circuit order: counts of 0/1 outcomes,
+    the fraction of 1s, and the fraction of shots in which the outcome was
+    deterministic (forced by the state).
+    """
+    rows = []
+    for label, bits in batch.outcomes.items():
+        ones = int(bits.sum())
+        det = batch.deterministic[label]
+        rows.append(
+            {
+                "label": label,
+                "zeros": batch.n_shots - ones,
+                "ones": ones,
+                "p_one": ones / batch.n_shots,
+                "deterministic": float(det.mean()),
+            }
+        )
+    return rows
+
+
+def format_outcome_summary(batch, title: str = "", limit: int | None = 16) -> str:
+    """Render the measurement-outcome distribution of a batched run."""
+    stats = outcome_statistics(batch)
+    shown = stats if limit is None else stats[: max(0, limit)]
+    rows = [
+        [s["label"], s["zeros"], s["ones"], f"{s['p_one']:.3f}", f"{s['deterministic']:.2f}"]
+        for s in shown
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_table(["label", "zeros", "ones", "P(1)", "det."], rows))
+    if len(stats) > len(shown):
+        lines.append(f"... ({len(stats) - len(shown)} more labels)")
+    return "\n".join(lines)
+
+
+def logical_outcome_statistics(compiled, batch) -> list[dict]:
+    """Logical measurement statistics of a compiled operation over a batch.
+
+    Evaluates each instruction's ``value`` callable — a product of
+    measurement signs — vectorized over the batch (``BatchResult.sign``
+    returns per-shot arrays), and folds the quasi-probability shot weights
+    into the §4.1 estimator: ``<M> = E[weight * value]`` with its standard
+    error, plus the weighted logical-error frequency ``P(-1)``.
+    """
+    rows = []
+    for res in compiled.results:
+        if res.value is None:
+            continue
+        values = np.broadcast_to(
+            np.asarray(res.value(batch), dtype=np.float64), (batch.n_shots,)
+        )
+        if batch.n_shots > 1:
+            mean, stderr = batch.estimate(values)
+        else:
+            mean, stderr = float((batch.weights * values).mean()), 0.0
+        p_minus = float(np.mean(batch.weights * (values < 0)))
+        rows.append(
+            {
+                "name": res.name,
+                "mean": mean,
+                "stderr": stderr,
+                "p_minus": p_minus,
+                "n_shots": batch.n_shots,
+            }
+        )
+    return rows
+
+
+def format_logical_summary(compiled, batch, title: str = "") -> str:
+    """Render logical-outcome statistics (weighted means and error rates)."""
+    stats = logical_outcome_statistics(compiled, batch)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    if not stats:
+        lines.append("(no logical measurement outcomes in this operation)")
+        return "\n".join(lines)
+    rows = [
+        [
+            s["name"],
+            f"{s['mean']:+.4f}",
+            f"{s['stderr']:.4f}",
+            f"{s['p_minus']:.4f}",
+            s["n_shots"],
+        ]
+        for s in stats
+    ]
+    lines.append(_table(["instruction", "<M>", "stderr", "P(-1)", "shots"], rows))
     return "\n".join(lines)

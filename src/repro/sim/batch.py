@@ -1,0 +1,213 @@
+"""Batched Monte-Carlo shot engine over the packed stabilizer backend.
+
+Replays one compiled :class:`~repro.hardware.circuit.HardwareCircuit` across
+a whole batch of shots in single vectorized passes: every instruction is
+visited once, acting on all shots at word granularity via
+:class:`~repro.sim.packed.PackedTableau`.  Per-shot quasi-probability
+T-gate substitutions (§4.1) are drawn for the whole batch up front at each
+non-Clifford instruction and applied as masked gate layers; per-shot weights
+and per-label outcome bitmaps come back as arrays.
+
+Two randomness modes:
+
+* ``independent_streams=True`` (default) gives shot ``k`` its own
+  ``default_rng(seed + k)`` consumed in instruction order — exactly the
+  stream a single-shot :class:`~repro.sim.interpreter.CircuitInterpreter`
+  with ``seed + k`` would consume, so batched trajectories reproduce looped
+  single-shot runs shot-for-shot (outcomes, weights, determinism flags).
+* ``independent_streams=False`` draws every random vector from one shared
+  generator — the maximum-throughput mode for logical-error statistics,
+  reproducible as a batch but not relatable to single-shot replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.code.pauli import PauliString
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.sim.gates import NON_CLIFFORD_GATES
+from repro.sim.interpreter import (
+    RunResult,
+    apply_load,
+    apply_move,
+    init_run_state,
+    resolve_qubits,
+)
+from repro.sim.packed import PackedTableau, apply_packed
+from repro.sim.quasi import QuasiCliffordSampler
+
+__all__ = ["BatchRunner", "BatchResult"]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of replaying one circuit across a batch of Monte-Carlo shots.
+
+    The array-valued mirror of :class:`~repro.sim.interpreter.RunResult`:
+    ``outcomes[label]`` is a ``(n_shots,)`` 0/1 bitmap, ``deterministic``
+    the matching determinism flags, ``weights`` the quasi-probability shot
+    weights.  ``sign``/``expectation`` return per-shot arrays, which makes
+    the compiler's ``InstructionResult.value`` callables (products of signs)
+    evaluate vectorized over the whole batch unchanged.
+    """
+
+    tableau: PackedTableau
+    ion_index: dict[int, int]
+    occupancy: dict[int, int]
+    outcomes: dict[str, np.ndarray]
+    deterministic: dict[str, np.ndarray]
+    weights: np.ndarray
+
+    @property
+    def n_shots(self) -> int:
+        return self.tableau.batch
+
+    def qubit_of_site(self, site: int) -> int:
+        """Tableau qubit currently held at a qsite (shared across shots)."""
+        ion = self.occupancy.get(site)
+        if ion is None:
+            raise KeyError(f"no ion at qsite {site} at end of circuit")
+        return self.ion_index[ion]
+
+    def sign(self, label: str) -> np.ndarray:
+        """Measurement outcomes as +/-1 eigenvalue signs, one per shot."""
+        return 1 - 2 * self.outcomes[label].astype(np.int64)
+
+    def expectation(self, pauli_over_sites: PauliString) -> np.ndarray:
+        """Per-shot <P> for a Pauli string keyed by qsites (end occupancy)."""
+        index_of = {
+            site: self.qubit_of_site(site) for site in pauli_over_sites.support
+        }
+        return self.tableau.expectation(pauli_over_sites, index_of)
+
+    def expectation_over_ions(self, pauli_over_ions: PauliString) -> np.ndarray:
+        index_of = {ion: self.ion_index[ion] for ion in pauli_over_ions.support}
+        return self.tableau.expectation(pauli_over_ions, index_of)
+
+    def estimate(self, values: PauliString | np.ndarray) -> tuple[float, float]:
+        """Weighted Monte-Carlo mean and standard error over the batch.
+
+        ``values`` is either a Pauli string over qsites (its per-shot
+        expectations are taken) or a precomputed per-shot value array; the
+        quasi-probability estimator is ``E[weight * value]`` (§4.1).
+        """
+        if isinstance(values, PauliString):
+            values = self.expectation(values)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.weights.shape:
+            raise ValueError(f"need one value per shot, got shape {values.shape}")
+        if self.n_shots < 2:
+            raise ValueError("need at least two shots for an error estimate")
+        samples = self.weights * values
+        return float(samples.mean()), float(samples.std(ddof=1) / np.sqrt(self.n_shots))
+
+    def shot(self, k: int) -> RunResult:
+        """Materialize shot ``k`` as a single-shot :class:`RunResult`."""
+        return RunResult(
+            tableau=self.tableau.to_tableau(k),
+            ion_index=dict(self.ion_index),
+            occupancy=dict(self.occupancy),
+            outcomes={label: int(arr[k]) for label, arr in self.outcomes.items()},
+            deterministic={label: bool(arr[k]) for label, arr in self.deterministic.items()},
+            weight=float(self.weights[k]),
+        )
+
+
+class BatchRunner:
+    """Executes hardware circuits against a batch of packed tableaux."""
+
+    def __init__(self, grid: GridManager):
+        self.grid = grid
+        self.sampler = QuasiCliffordSampler()
+
+    def run_shots(
+        self,
+        circuit: HardwareCircuit,
+        initial_occupancy: dict[int, int],
+        n_shots: int,
+        seed: int | None = 0,
+        forced_outcomes: dict | None = None,
+        independent_streams: bool = True,
+    ) -> BatchResult:
+        """Replay ``circuit`` from a site -> ion occupancy map, ``n_shots`` at once.
+
+        ``forced_outcomes`` pins measurement labels (scalar or per-shot
+        arrays).  With ``independent_streams`` (default) shot ``k`` consumes
+        ``default_rng(seed + k)`` exactly like ``CircuitInterpreter(grid,
+        seed + k)`` would; with it off, one shared ``default_rng(seed)``
+        draws every random vector (fastest).
+        """
+        if n_shots < 1:
+            raise ValueError("need at least one shot")
+        forced = forced_outcomes or {}
+        occupancy, ion_index, n_qubits = init_run_state(circuit, initial_occupancy)
+        tableau = PackedTableau(n_qubits, batch=n_shots)
+        weights = np.ones(n_shots)
+        outcomes: dict[str, np.ndarray] = {}
+        deterministic: dict[str, np.ndarray] = {}
+
+        if independent_streams:
+            rngs = [
+                np.random.default_rng(None if seed is None else seed + k)
+                for k in range(n_shots)
+            ]
+            measure_rng: object = rngs
+        else:
+            shared = np.random.default_rng(seed)
+            measure_rng = shared
+
+        instructions = circuit.sorted_instructions()
+        for idx, inst in enumerate(instructions):
+            qubits = resolve_qubits(inst, occupancy, ion_index)
+
+            if inst.name == "Load":
+                apply_load(inst, occupancy, ion_index, tableau.n)
+            elif inst.name == "Move":
+                apply_move(inst, occupancy)
+            elif inst.name == "Prepare_Z":
+                tableau.reset(qubits[0], measure_rng)
+            elif inst.name == "Measure_Z":
+                label = inst.label or f"m?{idx}"
+                out, det = tableau.measure(
+                    qubits[0], measure_rng, forced=forced.get(label)
+                )
+                outcomes[label] = out
+                deterministic[label] = det
+            elif inst.name in NON_CLIFFORD_GATES:
+                if independent_streams:
+                    drawn = [self.sampler.sample(inst.name, rngs[k]) for k in range(n_shots)]
+                    gates = [g for g, _ in drawn]
+                    weights *= np.array([w for _, w in drawn])
+                else:
+                    gates, factors = self.sampler.sample_batch(inst.name, shared, n_shots)
+                    weights *= factors
+                self._apply_substitutes(tableau, gates, tuple(qubits))
+            else:
+                apply_packed(tableau, inst.name, tuple(qubits))
+
+        return BatchResult(
+            tableau=tableau,
+            ion_index=ion_index,
+            occupancy=occupancy,
+            outcomes=outcomes,
+            deterministic=deterministic,
+            weights=weights,
+        )
+
+    @staticmethod
+    def _apply_substitutes(
+        tableau: PackedTableau, gates: list[str | None], qubits: tuple[int, ...]
+    ) -> None:
+        """Apply per-shot Clifford substitutes as masked gate layers."""
+        per_shot = np.array(["" if g is None else g for g in gates])
+        for gate in np.unique(per_shot):
+            if gate == "":
+                continue  # identity substitute
+            mask = per_shot == gate
+            apply_packed(
+                tableau, str(gate), qubits, mask=None if mask.all() else mask
+            )

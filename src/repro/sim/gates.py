@@ -20,6 +20,7 @@ __all__ = [
     "apply_to_tableau",
     "CLIFFORD_GATES",
     "NON_CLIFFORD_GATES",
+    "TABLEAU_1Q",
     "rotation_unitary",
 ]
 
@@ -62,8 +63,10 @@ CLIFFORD_GATES = frozenset(
 )
 NON_CLIFFORD_GATES = frozenset({"Z_pi/8", "Z_-pi/8"})
 
-# Tableau dispatch: gate name -> StabilizerTableau method name.
-_TABLEAU_1Q: dict[str, str] = {
+# Tableau dispatch: gate name -> tableau method name, shared by the unpacked
+# (StabilizerTableau) and packed-batched (PackedTableau) backends, whose gate
+# methods are named identically.
+TABLEAU_1Q: dict[str, str] = {
     "X_pi/2": "pauli_x",
     "Y_pi/2": "pauli_y",
     "Z_pi/2": "pauli_z",
@@ -90,9 +93,9 @@ def apply_to_tableau(tab: StabilizerTableau, name: str, qubits: tuple[int, ...])
     ``Z_pi/8`` / ``Z_-pi/8`` are rejected here — the interpreter routes them
     through the quasi-Clifford sampler (§4.1).
     """
-    if name in _TABLEAU_1Q:
+    if name in TABLEAU_1Q:
         (a,) = qubits
-        getattr(tab, _TABLEAU_1Q[name])(a)
+        getattr(tab, TABLEAU_1Q[name])(a)
     elif name == "ZZ":
         a, b = qubits
         tab.zz(a, b)

@@ -23,7 +23,74 @@ from repro.sim.gates import NON_CLIFFORD_GATES, apply_to_tableau
 from repro.sim.quasi import QuasiCliffordSampler
 from repro.sim.tableau import StabilizerTableau
 
-__all__ = ["CircuitInterpreter", "RunResult"]
+__all__ = [
+    "CircuitInterpreter",
+    "RunResult",
+    "init_run_state",
+    "resolve_qubits",
+    "apply_load",
+    "apply_move",
+]
+
+
+def init_run_state(
+    circuit: HardwareCircuit, initial_occupancy: dict[int, int]
+) -> tuple[dict[int, int], dict[int, int], int]:
+    """Validated starting state for a circuit replay, shared by both engines.
+
+    Returns ``(occupancy, ion_index, n_qubits)`` where ``n_qubits`` reserves
+    one tableau slot per initial ion plus one per Load pseudo-instruction.
+    """
+    ions = sorted(set(initial_occupancy.values()))
+    if len(ions) != len(initial_occupancy):
+        raise ValueError("occupancy maps two sites to one ion")
+    ion_index = {ion: k for k, ion in enumerate(ions)}
+    n_loads = sum(1 for i in circuit.instructions if i.name == "Load")
+    return dict(initial_occupancy), ion_index, max(1, len(ions) + n_loads)
+
+
+def resolve_qubits(inst, occupancy: dict[int, int], ion_index: dict[int, int]) -> list[int]:
+    """Tableau qubits an instruction acts on, given the current occupancy.
+
+    Shared by the single-shot interpreter and the batched runner so the
+    hardware-model semantics (Move destinations may be empty, Load targets
+    must be) cannot diverge between the two engines.
+    """
+    qubits = []
+    for site in inst.sites:
+        if inst.name == "Move" and site == inst.sites[1]:
+            continue  # move destination need not be occupied
+        if inst.name == "Load":
+            continue  # load target must be *empty*
+        ion = occupancy.get(site)
+        if ion is None:
+            raise ValueError(
+                f"instruction {inst.to_text()!r} targets empty qsite {site}"
+            )
+        qubits.append(ion_index[ion])
+    return qubits
+
+
+def apply_load(inst, occupancy: dict[int, int], ion_index: dict[int, int], n_slots: int) -> None:
+    """Allocate a fresh ion for a Load pseudo-instruction (shared semantics)."""
+    (site,) = inst.sites
+    if site in occupancy:
+        raise ValueError(f"Load onto occupied qsite {site}")
+    new_ion = (max(ion_index) + 1) if ion_index else 0
+    while new_ion in ion_index:
+        new_ion += 1
+    ion_index[new_ion] = len(ion_index)
+    if ion_index[new_ion] >= n_slots:
+        raise ValueError("more Load instructions than tableau slots")
+    occupancy[site] = new_ion
+
+
+def apply_move(inst, occupancy: dict[int, int]) -> None:
+    """Relocate the ion for a Move pseudo-instruction (shared semantics)."""
+    src, dst = inst.sites
+    if dst in occupancy:
+        raise ValueError(f"move into occupied qsite {dst}")
+    occupancy[dst] = occupancy.pop(src)
 
 
 @dataclass
@@ -101,13 +168,8 @@ class CircuitInterpreter:
             outcomes = dict(initial_state.outcomes)
             deterministic = dict(initial_state.deterministic)
         else:
-            ions = sorted(set(initial_occupancy.values()))
-            if len(ions) != len(initial_occupancy):
-                raise ValueError("occupancy maps two sites to one ion")
-            ion_index = {ion: k for k, ion in enumerate(ions)}
-            n_loads = sum(1 for i in circuit.instructions if i.name == "Load")
-            tableau = StabilizerTableau(max(1, len(ions) + n_loads))
-            occupancy = dict(initial_occupancy)
+            occupancy, ion_index, n_qubits = init_run_state(circuit, initial_occupancy)
+            tableau = StabilizerTableau(n_qubits)
             weight = 1.0
             outcomes = {}
             deterministic = {}
@@ -117,35 +179,12 @@ class CircuitInterpreter:
 
         instructions = circuit.sorted_instructions()
         for idx, inst in enumerate(instructions):
-            qubits = []
-            for site in inst.sites:
-                if inst.name == "Move" and site == inst.sites[1]:
-                    continue  # move destination need not be occupied
-                if inst.name == "Load":
-                    continue  # load target must be *empty*
-                ion = occupancy.get(site)
-                if ion is None:
-                    raise ValueError(
-                        f"instruction {inst.to_text()!r} targets empty qsite {site}"
-                    )
-                qubits.append(ion_index[ion])
+            qubits = resolve_qubits(inst, occupancy, ion_index)
 
             if inst.name == "Load":
-                (site,) = inst.sites
-                if site in occupancy:
-                    raise ValueError(f"Load onto occupied qsite {site}")
-                new_ion = (max(ion_index) + 1) if ion_index else 0
-                while new_ion in ion_index:
-                    new_ion += 1
-                ion_index[new_ion] = len(ion_index)
-                if ion_index[new_ion] >= tableau.n:
-                    raise ValueError("more Load instructions than tableau slots")
-                occupancy[site] = new_ion
+                apply_load(inst, occupancy, ion_index, tableau.n)
             elif inst.name == "Move":
-                src, dst = inst.sites
-                if dst in occupancy:
-                    raise ValueError(f"move into occupied qsite {dst}")
-                occupancy[dst] = occupancy.pop(src)
+                apply_move(inst, occupancy)
             elif inst.name == "Prepare_Z":
                 tableau.reset(qubits[0], self.rng)
             elif inst.name == "Measure_Z":

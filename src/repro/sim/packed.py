@@ -1,0 +1,512 @@
+"""Bit-packed, batch-parallel stabilizer tableau.
+
+Stores ``B`` independent Aaronson-Gottesman tableaux with the x/z bit
+matrices packed 64 qubits per ``uint64`` word and a leading batch axis:
+``x`` and ``z`` have shape ``(batch, 2n, ceil(n/64))``, the sign vector
+``r`` has shape ``(batch, 2n)``.  Every update — gates, rowsum, measurement,
+expectation — is vectorized over the whole batch, per the hpc-parallel
+guidance of the seed tableau taken one level further: instead of one byte
+per Pauli bit, 64 qubits per machine word.
+
+Two access granularities share the same storage:
+
+* Gates touch a single qubit column, so they go through a ``uint8`` view of
+  the words (``_x8``/``_z8``) and read/write only the one byte per row that
+  holds the target bit — 8x less memory traffic than whole-word slicing,
+  which is what makes the batched gate layer fast.  ``cz``/``zz`` use native
+  one-pass update rules (verified against the seed's gate compositions)
+  rather than the H-conjugation composition.
+* Rowsum phase accumulation works on whole words with the bit-sliced trick
+  of packed stabilizer simulators: the per-qubit i-exponent ``g`` of a row
+  product lies in ``{0, 1, -1}`` (mod 4: ``{0, 1, 3}``), so its low bit and
+  its "negative" bit form two planes and the mod-4 total is
+  ``popcount(plane0) + 2 * popcount(plane1)`` (see :func:`_phase_planes`,
+  verified exhaustively against the seed tableau's g-function).
+
+Batch lane ``b`` evolves exactly like one
+:class:`~repro.sim.tableau.StabilizerTableau` replay.  Every gate accepts an
+optional boolean ``mask`` over the batch so per-shot quasi-Clifford
+substitutions (§4.1) can be applied as masked gate layers, and
+``measure``/``reset`` accept either one shared generator or a sequence of
+per-shot generators (to reproduce single-shot trajectories bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.code.pauli import PauliString
+from repro.sim.gates import NON_CLIFFORD_GATES, TABLEAU_1Q
+from repro.sim.tableau import StabilizerTableau
+
+__all__ = ["PackedTableau", "apply_packed", "pack_bits", "unpack_bits"]
+
+_ONE = np.uint64(1)
+_U8_ONE = np.uint8(1)
+
+if hasattr(np, "bitwise_count"):
+    _popcount = np.bitwise_count
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+    def _popcount(a: np.ndarray) -> np.ndarray:
+        return _POP8[a.reshape(a.shape + (1,)).view(np.uint8)].sum(axis=-1, dtype=np.uint8)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., n)`` 0/1 array into ``(..., ceil(n/64))`` uint64 words.
+
+    Bit ``k`` of word ``w`` holds column ``64*w + k``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    n = bits.shape[-1]
+    words = max(1, -(-n // 64))
+    padded = np.zeros(bits.shape[:-1] + (words * 64,), dtype=np.uint8)
+    padded[..., :n] = bits
+    packed = np.ascontiguousarray(np.packbits(padded, axis=-1, bitorder="little"))
+    out = packed.view(np.uint64)
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts
+        out = out.byteswap()
+    return out
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``(..., W)`` words back to ``(..., n)`` bits."""
+    w = np.ascontiguousarray(words)
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts
+        w = w.byteswap()
+    bits = np.unpackbits(w.view(np.uint8), axis=-1, bitorder="little")
+    return bits[..., :n]
+
+
+def _phase_planes(x1, z1, x2, z2):
+    """Bit planes of the rowsum g-exponent for (x1,z1) left-multiplied onto (x2,z2).
+
+    Returns ``(e0, eneg)`` with per-qubit g mod 4 = ``e0 + 2*eneg``.
+    """
+    a = x1 & z2
+    b = z1 & x2
+    e0 = a ^ b
+    eneg = e0 & ((a & ~(x2 | z1)) | (b & (x1 | z2)))
+    return e0, eneg
+
+
+class PackedTableau:
+    """A batch of n-qubit stabilizer states, all initialized to |0...0>."""
+
+    def __init__(self, n: int, batch: int = 1):
+        if n < 1:
+            raise ValueError("need at least one qubit")
+        if batch < 1:
+            raise ValueError("need at least one shot in the batch")
+        self.n = n
+        self.batch = batch
+        self.words = -(-n // 64)
+        self.x = np.zeros((batch, 2 * n, self.words), dtype=np.uint64)
+        self.z = np.zeros((batch, 2 * n, self.words), dtype=np.uint64)
+        self.r = np.zeros((batch, 2 * n), dtype=np.uint8)
+        idx = np.arange(n)
+        bit = _ONE << (idx % 64).astype(np.uint64)
+        self.x[:, idx, idx // 64] = bit           # destabilizer i = X_i
+        self.z[:, n + idx, idx // 64] = bit       # stabilizer i = Z_i
+        self._make_views()
+
+    def _make_views(self) -> None:
+        # Byte-granular aliases of the same storage, used by the gate layer.
+        self._x8 = self.x.view(np.uint8)
+        self._z8 = self.z.view(np.uint8)
+
+    def copy(self) -> "PackedTableau":
+        t = PackedTableau.__new__(PackedTableau)
+        t.n, t.batch, t.words = self.n, self.batch, self.words
+        t.x = self.x.copy()
+        t.z = self.z.copy()
+        t.r = self.r.copy()
+        t._make_views()
+        return t
+
+    # ------------------------------------------------------------ conversions
+    @classmethod
+    def from_tableau(cls, tab: StabilizerTableau, batch: int = 1) -> "PackedTableau":
+        """Pack an unpacked tableau, replicated across ``batch`` lanes (lossless)."""
+        if batch < 1:
+            raise ValueError("need at least one shot in the batch")
+        t = cls.__new__(cls)
+        t.n, t.batch, t.words = tab.n, batch, -(-tab.n // 64)
+        t.x = np.tile(pack_bits(tab.x), (batch, 1, 1))
+        t.z = np.tile(pack_bits(tab.z), (batch, 1, 1))
+        t.r = np.tile(tab.r.astype(np.uint8), (batch, 1))
+        t._make_views()
+        return t
+
+    def to_tableau(self, b: int = 0) -> StabilizerTableau:
+        """Unpack batch lane ``b`` into a seed-format tableau (lossless)."""
+        t = StabilizerTableau.__new__(StabilizerTableau)
+        t.n = self.n
+        t.x = unpack_bits(self.x[b], self.n)
+        t.z = unpack_bits(self.z[b], self.n)
+        t.r = self.r[b].copy()
+        return t
+
+    def stabilizer_generators(self, b: int = 0, keys: list | None = None) -> list[PauliString]:
+        return self.to_tableau(b).stabilizer_generators(keys)
+
+    # --------------------------------------------------------------- plumbing
+    def _check_qubit(self, a: int) -> None:
+        if not 0 <= a < self.n:
+            raise ValueError(f"qubit {a} outside tableau of {self.n}")
+
+    @staticmethod
+    def _byte_bit(a: int) -> tuple[int, int]:
+        """(byte index within the 8*W byte row, bit within that byte) of qubit a."""
+        w, sh = divmod(a, 64)
+        if sys.byteorder == "big":  # pragma: no cover - big-endian hosts
+            return w * 8 + (7 - (sh >> 3)), sh & 7
+        return w * 8 + (sh >> 3), sh & 7
+
+    def _col(self, arr8: np.ndarray, a: int) -> np.ndarray:
+        """The 0/1 bit of column ``a`` for every (batch, row), as uint8."""
+        byte, bit = self._byte_bit(a)
+        return (arr8[:, :, byte] >> bit) & _U8_ONE
+
+    def _xor_col(self, arr8: np.ndarray, a: int, bits01: np.ndarray) -> None:
+        byte, bit = self._byte_bit(a)
+        arr8[:, :, byte] ^= bits01 << bit
+
+    def _mask01(self, mask) -> np.ndarray:
+        """Batch mask as a broadcastable 0/1 uint8 factor (1 = apply)."""
+        if mask is None:
+            return _U8_ONE
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (self.batch,):
+            raise ValueError(f"mask shape {m.shape} does not match batch {self.batch}")
+        return m.astype(np.uint8)[:, None]
+
+    # ----------------------------------------------------------- 1q gates
+    def h(self, a: int, mask=None) -> None:
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        x, z = self._col(self._x8, a), self._col(self._z8, a)
+        self.r ^= (x & z) & m
+        t = (x ^ z) & m
+        self._xor_col(self._x8, a, t)
+        self._xor_col(self._z8, a, t)
+
+    def s(self, a: int, mask=None) -> None:
+        """Phase gate S ~ Z_{pi/4}: X -> Y, Y -> -X."""
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        x, z = self._col(self._x8, a), self._col(self._z8, a)
+        self.r ^= (x & z) & m
+        self._xor_col(self._z8, a, x & m)
+
+    def sdg(self, a: int, mask=None) -> None:
+        """S-dagger ~ Z_{-pi/4}: X -> -Y, Y -> X."""
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        x, z = self._col(self._x8, a), self._col(self._z8, a)
+        self.r ^= (x & (z ^ _U8_ONE)) & m
+        self._xor_col(self._z8, a, x & m)
+
+    def pauli_x(self, a: int, mask=None) -> None:
+        self._check_qubit(a)
+        self.r ^= self._col(self._z8, a) & self._mask01(mask)
+
+    def pauli_y(self, a: int, mask=None) -> None:
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        self.r ^= (self._col(self._x8, a) ^ self._col(self._z8, a)) & m
+
+    def pauli_z(self, a: int, mask=None) -> None:
+        self._check_qubit(a)
+        self.r ^= self._col(self._x8, a) & self._mask01(mask)
+
+    def sqrt_x(self, a: int, mask=None) -> None:
+        """X_{pi/4} = e^{-i pi/4 X}: Z -> -Y, Y -> Z."""
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        x, z = self._col(self._x8, a), self._col(self._z8, a)
+        self.r ^= ((x ^ _U8_ONE) & z) & m
+        self._xor_col(self._x8, a, z & m)
+
+    def sqrt_x_dag(self, a: int, mask=None) -> None:
+        """X_{-pi/4}: Z -> Y, Y -> -Z."""
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        x, z = self._col(self._x8, a), self._col(self._z8, a)
+        self.r ^= (x & z) & m
+        self._xor_col(self._x8, a, z & m)
+
+    def sqrt_y(self, a: int, mask=None) -> None:
+        """Y_{pi/4} = e^{-i pi/4 Y}: X -> -Z, Z -> X."""
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        x, z = self._col(self._x8, a), self._col(self._z8, a)
+        self.r ^= (x & (z ^ _U8_ONE)) & m
+        t = (x ^ z) & m
+        self._xor_col(self._x8, a, t)
+        self._xor_col(self._z8, a, t)
+
+    def sqrt_y_dag(self, a: int, mask=None) -> None:
+        """Y_{-pi/4}: X -> Z, Z -> -X."""
+        self._check_qubit(a)
+        m = self._mask01(mask)
+        x, z = self._col(self._x8, a), self._col(self._z8, a)
+        self.r ^= ((x ^ _U8_ONE) & z) & m
+        t = (x ^ z) & m
+        self._xor_col(self._x8, a, t)
+        self._xor_col(self._z8, a, t)
+
+    # ----------------------------------------------------------- 2q gates
+    def cnot(self, c: int, t: int, mask=None) -> None:
+        self._check_qubit(c)
+        self._check_qubit(t)
+        if c == t:
+            raise ValueError("CNOT control and target must differ")
+        m = self._mask01(mask)
+        xc, zc = self._col(self._x8, c), self._col(self._z8, c)
+        xt, zt = self._col(self._x8, t), self._col(self._z8, t)
+        self.r ^= (xc & zt & (xt ^ zc ^ _U8_ONE)) & m
+        self._xor_col(self._x8, t, xc & m)
+        self._xor_col(self._z8, c, zt & m)
+
+    def cz(self, a: int, b: int, mask=None) -> None:
+        """Native one-pass CZ (= H_b CNOT_ab H_b of the seed backend)."""
+        self._check_qubit(a)
+        self._check_qubit(b)
+        if a == b:
+            raise ValueError("CZ qubits must differ")
+        m = self._mask01(mask)
+        xa, za = self._col(self._x8, a), self._col(self._z8, a)
+        xb, zb = self._col(self._x8, b), self._col(self._z8, b)
+        self.r ^= (xa & xb & (za ^ zb)) & m
+        self._xor_col(self._z8, a, xb & m)
+        self._xor_col(self._z8, b, xa & m)
+
+    def zz(self, a: int, b: int, mask=None) -> None:
+        """Native entangler (ZZ)_{pi/4} = (S (x) S) . CZ up to global phase.
+
+        One-pass update rule (phase terms are CZ's plus each S's applied to
+        the post-CZ z columns), verified against the seed composition.
+        """
+        self._check_qubit(a)
+        self._check_qubit(b)
+        if a == b:
+            raise ValueError("ZZ qubits must differ")
+        m = self._mask01(mask)
+        xa, za = self._col(self._x8, a), self._col(self._z8, a)
+        xb, zb = self._col(self._x8, b), self._col(self._z8, b)
+        self.r ^= ((xa & xb & (za ^ zb)) ^ (xa & (za ^ xb)) ^ (xb & (zb ^ xa))) & m
+        t = (xa ^ xb) & m
+        self._xor_col(self._z8, a, t)
+        self._xor_col(self._z8, b, t)
+
+    # --------------------------------------------------------------- rowsum
+    def _rowsum_into(self, pivot: np.ndarray, rows_mask: np.ndarray) -> None:
+        """R_h := R_pivot[b] * R_h for every (batch b, row h) with rows_mask set."""
+        cols = np.nonzero(rows_mask.any(axis=0))[0]
+        if cols.size == 0:
+            return
+        bidx = np.arange(self.batch)
+        x1 = self.x[bidx, pivot][:, None, :]
+        z1 = self.z[bidx, pivot][:, None, :]
+        r1 = self.r[bidx, pivot].astype(np.int64)
+        x2 = self.x[:, cols]
+        z2 = self.z[:, cols]
+        e0, eneg = _phase_planes(x1, z1, x2, z2)
+        g = _popcount(e0).sum(axis=-1, dtype=np.int64)
+        g += 2 * _popcount(eneg).sum(axis=-1, dtype=np.int64)
+        total = 2 * self.r[:, cols].astype(np.int64) + 2 * r1[:, None] + g
+        m = rows_mask[:, cols]
+        self.r[:, cols] = np.where(m, ((total % 4) // 2).astype(np.uint8), self.r[:, cols])
+        m64 = m[:, :, None].astype(np.uint64)
+        self.x[:, cols] = x2 ^ (x1 * m64)
+        self.z[:, cols] = z2 ^ (z1 * m64)
+
+    def _stab_product(self, idx: np.ndarray, hits: np.ndarray):
+        """Product of the selected stabilizer rows per batch lane in ``idx``.
+
+        ``hits[j, i]`` selects stabilizer row ``n+i`` for lane ``idx[j]``.
+        Returns ``(x, z, r)`` of the product — the sequential scratch-row
+        recursion collapses to prefix XORs plus one bit-plane popcount pass
+        because every intermediate product of stabilizer rows carries a real
+        (+/-) phase, so the mod-4 floors commute with the sum.  Only rows
+        selected in at least one lane enter the computation.
+        """
+        n = self.n
+        cols = np.nonzero(hits.any(axis=0))[0]
+        if cols.size == 0:
+            zeros = np.zeros((idx.size, self.words), dtype=np.uint64)
+            return zeros, zeros.copy(), np.zeros(idx.size, dtype=np.uint8)
+        sub = hits[:, cols]
+        hm = sub[:, :, None].astype(np.uint64)
+        gather = np.ix_(idx, n + cols)
+        x1 = self.x[gather] * hm
+        z1 = self.z[gather] * hm
+        r1 = self.r[gather] * sub
+        cx = np.bitwise_xor.accumulate(x1, axis=1)
+        cz = np.bitwise_xor.accumulate(z1, axis=1)
+        x2 = np.zeros_like(x1)
+        z2 = np.zeros_like(z1)
+        x2[:, 1:] = cx[:, :-1]
+        z2[:, 1:] = cz[:, :-1]
+        e0, eneg = _phase_planes(x1, z1, x2, z2)
+        g = _popcount(e0).sum(axis=(1, 2), dtype=np.int64)
+        g += 2 * _popcount(eneg).sum(axis=(1, 2), dtype=np.int64)
+        total = 2 * r1.sum(axis=1, dtype=np.int64) + g
+        return cx[:, -1], cz[:, -1], ((total % 4) // 2).astype(np.uint8)
+
+    # ---------------------------------------------------------- measurement
+    def _forced_array(self, forced) -> np.ndarray | None:
+        if forced is None:
+            return None
+        arr = np.asarray(forced, dtype=np.int64)
+        if arr.ndim == 0:
+            arr = np.full(self.batch, int(arr), dtype=np.int64)
+        if arr.shape != (self.batch,):
+            raise ValueError(f"forced shape {arr.shape} does not match batch {self.batch}")
+        return arr
+
+    def measure(
+        self,
+        a: int,
+        rng: np.random.Generator | Sequence[np.random.Generator] | None = None,
+        forced=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Measure Z on qubit ``a`` across the whole batch.
+
+        Returns ``(outcomes, deterministic)`` arrays of shape ``(batch,)``.
+        ``rng`` may be one shared generator (outcomes drawn as a vector) or a
+        per-shot sequence of generators, in which case lane ``k`` consumes
+        ``rng[k]`` exactly like a single-shot tableau replay would — only when
+        its own outcome is random, in batch order.  ``forced`` pins outcomes
+        (scalar or per-shot array); forcing a deterministic lane to the wrong
+        value raises, matching the unpacked backend.
+        """
+        self._check_qubit(a)
+        n, B = self.n, self.batch
+        w, sh = divmod(a, 64)
+        xa = self._col(self._x8, a) != 0              # (B, 2n) bool
+        has_pivot = xa[:, n:].any(axis=1)
+        deterministic = ~has_pivot
+        outcomes = np.zeros(B, dtype=np.uint8)
+        forced_arr = self._forced_array(forced)
+
+        if has_pivot.any():
+            sel = np.nonzero(has_pivot)[0]
+            pivot = n + np.argmax(xa[:, n:], axis=1)  # first anticommuting stabilizer
+            rows_mask = xa.copy()
+            rows_mask[np.arange(B), pivot] = False
+            rows_mask &= has_pivot[:, None]
+            self._rowsum_into(pivot, rows_mask)
+            if forced_arr is not None:
+                outcomes[sel] = forced_arr[sel].astype(np.uint8)
+            elif rng is None:
+                raise ValueError("random measurement outcome requires an rng")
+            elif isinstance(rng, np.random.Generator):
+                outcomes[sel] = rng.integers(0, 2, size=sel.size, dtype=np.uint8)
+            else:
+                outcomes[sel] = [int(rng[k].integers(2)) for k in sel]
+            p = pivot[sel]
+            self.x[sel, p - n] = self.x[sel, p]
+            self.z[sel, p - n] = self.z[sel, p]
+            self.r[sel, p - n] = self.r[sel, p]
+            self.x[sel, p] = 0
+            self.z[sel, p] = 0
+            self.z[sel, p, w] = _ONE << np.uint64(sh)
+            self.r[sel, p] = outcomes[sel]
+
+        if deterministic.any():
+            det = np.nonzero(deterministic)[0]
+            _, _, rs = self._stab_product(det, xa[det, :n])
+            outcomes[det] = rs
+            if forced_arr is not None:
+                bad = np.nonzero(forced_arr[det] != rs)[0]
+                if bad.size:
+                    k = bad[0]
+                    raise ValueError(
+                        f"forced outcome {int(forced_arr[det][k])} contradicts "
+                        f"deterministic outcome {int(rs[k])}"
+                    )
+        return outcomes, deterministic
+
+    def reset(
+        self,
+        a: int,
+        rng: np.random.Generator | Sequence[np.random.Generator] | None = None,
+    ) -> None:
+        """Prepare_Z: project qubit ``a`` to |0> in every batch lane."""
+        outcomes, _ = self.measure(a, rng, forced=0 if rng is None else None)
+        self.pauli_x(a, mask=outcomes.astype(bool))
+
+    # --------------------------------------------------------- expectations
+    def _pauli_words(self, pauli: PauliString, index_of: dict | None = None):
+        if not pauli.is_hermitian:
+            raise ValueError("expectation values need Hermitian Pauli strings")
+        xp = np.zeros(self.n, dtype=np.uint8)
+        zp = np.zeros(self.n, dtype=np.uint8)
+        for key, p in pauli.ops.items():
+            q = key if index_of is None else index_of[key]
+            if not 0 <= q < self.n:
+                raise ValueError(f"qubit {key!r} -> {q} outside tableau")
+            if p in ("X", "Y"):
+                xp[q] = 1
+            if p in ("Z", "Y"):
+                zp[q] = 1
+        return pack_bits(xp), pack_bits(zp), (pauli.phase % 4) // 2
+
+    @staticmethod
+    def _anticommutation(xrows, zrows, xp, zp) -> np.ndarray:
+        """Symplectic-product parity of each packed row with the Pauli (x/z words)."""
+        par = _popcount(xrows & zp).sum(axis=-1, dtype=np.int64)
+        par += _popcount(zrows & xp).sum(axis=-1, dtype=np.int64)
+        return (par & 1).astype(bool)
+
+    def commutes(self, pauli: PauliString, index_of: dict | None = None) -> np.ndarray:
+        """Per-lane bool: does ``pauli`` commute with every stabilizer generator?"""
+        xp, zp, _ = self._pauli_words(pauli, index_of)
+        anti = self._anticommutation(self.x[:, self.n:], self.z[:, self.n:], xp, zp)
+        return ~anti.any(axis=1)
+
+    def expectation(self, pauli: PauliString, index_of: dict | None = None) -> np.ndarray:
+        """<P> per batch lane: an int array over {-1, 0, +1} (exact)."""
+        xp, zp, rp = self._pauli_words(pauli, index_of)
+        n = self.n
+        anti_stab = self._anticommutation(self.x[:, n:], self.z[:, n:], xp, zp)
+        out = np.zeros(self.batch, dtype=np.int64)
+        live = np.nonzero(~anti_stab.any(axis=1))[0]
+        if live.size:
+            # P is in each live lane's stabilizer group; generator k participates
+            # iff P anticommutes with destabilizer k.
+            hits = self._anticommutation(self.x[live, :n], self.z[live, :n], xp, zp)
+            px, pz, rs = self._stab_product(live, hits)
+            if not (np.array_equal(px, np.broadcast_to(xp, px.shape))
+                    and np.array_equal(pz, np.broadcast_to(zp, pz.shape))):
+                raise AssertionError("internal error: commuting Pauli not in stabilizer group")
+            out[live] = np.where(rs == rp, 1, -1)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PackedTableau n={self.n} batch={self.batch} words={self.words}>"
+
+
+def apply_packed(tab: PackedTableau, name: str, qubits: tuple[int, ...], mask=None) -> None:
+    """Apply a native Clifford gate to (a masked subset of) the batch.
+
+    The non-Clifford ``Z_pi/8`` rotations are rejected here, as in
+    :func:`repro.sim.gates.apply_to_tableau` — the batch runner routes them
+    through the quasi-Clifford sampler as masked substitute layers.
+    """
+    if name in TABLEAU_1Q:
+        (a,) = qubits
+        getattr(tab, TABLEAU_1Q[name])(a, mask=mask)
+    elif name == "ZZ":
+        a, b = qubits
+        tab.zz(a, b, mask=mask)
+    elif name in NON_CLIFFORD_GATES:
+        raise ValueError(f"{name} is non-Clifford; use the quasi-Clifford sampler")
+    else:
+        raise ValueError(f"unknown gate {name!r}")

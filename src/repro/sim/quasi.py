@@ -85,6 +85,19 @@ class QuasiCliffordSampler:
         k = int(rng.choice(len(gates), p=probs))
         return gates[k], gamma * float(np.sign(coeffs[k]))
 
+    def sample_batch(
+        self, name: str, rng: np.random.Generator, size: int
+    ) -> tuple[list[str | None], np.ndarray]:
+        """Vectorized :meth:`sample` for a whole batch of shots.
+
+        Returns ``(gates, weight_factors)`` — one substitute gate (or ``None``)
+        and one ``gamma * sign(c_k)`` factor per shot, drawn from a single
+        shared generator.
+        """
+        gates, coeffs, probs, gamma = self._table(name)
+        ks = rng.choice(len(gates), size=int(size), p=probs)
+        return [gates[int(k)] for k in ks], gamma * np.sign(coeffs)[ks]
+
 
 def estimate_expectation(run_shot, n_shots: int) -> tuple[float, float]:
     """Monte-Carlo mean and standard error of ``weight * value`` over shots.

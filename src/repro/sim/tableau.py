@@ -19,6 +19,23 @@ from repro.code.pauli import PauliString
 __all__ = ["StabilizerTableau"]
 
 
+def _g_values(x1, z1, x2, z2):
+    """Per-qubit i-exponents g for left-multiplying row (x1,z1) onto (x2,z2).
+
+    Inputs are int arrays (broadcastable); the Aaronson-Gottesman g-function,
+    shared by the rowsum and the scratch-row product accumulation.
+    """
+    return np.where(
+        (x1 == 1) & (z1 == 1),
+        z2 - x2,
+        np.where(
+            (x1 == 1) & (z1 == 0),
+            z2 * (2 * x2 - 1),
+            np.where((x1 == 0) & (z1 == 1), x2 * (1 - 2 * z2), 0),
+        ),
+    )
+
+
 class StabilizerTableau:
     """n-qubit stabilizer state, initialized to |0...0>."""
 
@@ -124,37 +141,38 @@ class StabilizerTableau:
         z1 = self.z[i].astype(np.int16)
         x2 = self.x[hs].astype(np.int16)
         z2 = self.z[hs].astype(np.int16)
-        m11 = (x1 == 1) & (z1 == 1)
-        m10 = (x1 == 1) & (z1 == 0)
-        m01 = (x1 == 0) & (z1 == 1)
-        g = np.zeros_like(x2)
-        g[:, m11] = (z2 - x2)[:, m11]
-        g[:, m10] = (z2 * (2 * x2 - 1))[:, m10]
-        g[:, m01] = (x2 * (1 - 2 * z2))[:, m01]
+        g = _g_values(x1, z1, x2, z2)
         total = 2 * self.r[hs].astype(np.int64) + 2 * int(self.r[i]) + g.sum(axis=1)
         self.r[hs] = ((total % 4) // 2).astype(np.uint8)
         self.x[hs] ^= self.x[i]
         self.z[hs] ^= self.z[i]
 
-    def _product_phase(
-        self, xs: np.ndarray, zs: np.ndarray, rs: int, i: int
-    ) -> tuple[np.ndarray, np.ndarray, int]:
-        """Scratch-row variant: (xs, zs, rs) := row_i * (xs, zs, rs)."""
-        x1 = self.x[i].astype(np.int16)
-        z1 = self.z[i].astype(np.int16)
-        x2 = xs.astype(np.int16)
-        z2 = zs.astype(np.int16)
-        g = np.where(
-            (x1 == 1) & (z1 == 1),
-            z2 - x2,
-            np.where(
-                (x1 == 1) & (z1 == 0),
-                z2 * (2 * x2 - 1),
-                np.where((x1 == 0) & (z1 == 1), x2 * (1 - 2 * z2), 0),
-            ),
+    def _product_of_rows(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+        """Identity scratch row left-multiplied by each row in ``rows``, in order.
+
+        Vectorized over all rows at once (same g-function as the rowsum): the
+        scratch state before step j is the prefix XOR of rows[:j], and since
+        every intermediate product carries a real (+/-) phase the step-wise
+        mod-4 floors commute with summing, so one 2-D g evaluation suffices.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size == 0:
+            zeros = np.zeros(self.n, dtype=np.uint8)
+            return zeros, zeros.copy(), 0
+        x1 = self.x[rows]
+        z1 = self.z[rows]
+        cx = np.bitwise_xor.accumulate(x1, axis=0)
+        cz = np.bitwise_xor.accumulate(z1, axis=0)
+        x2 = np.zeros_like(x1)
+        z2 = np.zeros_like(z1)
+        x2[1:] = cx[:-1]
+        z2[1:] = cz[:-1]
+        g = _g_values(
+            x1.astype(np.int16), z1.astype(np.int16),
+            x2.astype(np.int16), z2.astype(np.int16),
         )
-        total = 2 * rs + 2 * int(self.r[i]) + int(g.sum())
-        return xs ^ self.x[i], zs ^ self.z[i], (total % 4) // 2
+        total = 2 * int(self.r[rows].sum()) + int(g.sum())
+        return cx[-1], cz[-1], (total % 4) // 2
 
     # ---------------------------------------------------------- measurement
     def measure(
@@ -192,11 +210,7 @@ class StabilizerTableau:
             self.r[p] = outcome
             return outcome, False
 
-        xs = np.zeros(self.n, dtype=np.uint8)
-        zs = np.zeros(self.n, dtype=np.uint8)
-        rs = 0
-        for i in np.nonzero(self.x[: self.n, a])[0]:
-            xs, zs, rs = self._product_phase(xs, zs, rs, self.n + int(i))
+        _, _, rs = self._product_of_rows(self.n + np.nonzero(self.x[: self.n, a])[0])
         outcome = int(rs)
         if forced is not None and int(forced) != outcome:
             raise ValueError(
@@ -248,11 +262,7 @@ class StabilizerTableau:
         # P is in the stabilizer group (full tableau => centralizer = group).
         # Generator k participates iff P anticommutes with destabilizer k.
         sym_destab = (self.x[: self.n] @ zp.astype(np.int64) + self.z[: self.n] @ xp.astype(np.int64)) % 2
-        xs = np.zeros(self.n, dtype=np.uint8)
-        zs = np.zeros(self.n, dtype=np.uint8)
-        rs = 0
-        for k in np.nonzero(sym_destab)[0]:
-            xs, zs, rs = self._product_phase(xs, zs, rs, self.n + int(k))
+        xs, zs, rs = self._product_of_rows(self.n + np.nonzero(sym_destab)[0])
         if not (np.array_equal(xs, xp) and np.array_equal(zs, zp)):
             raise AssertionError("internal error: commuting Pauli not in stabilizer group")
         return 1 if rs == rp else -1

@@ -5,6 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running randomized fuzz suites "
+        '(deselect with -m "not slow" for a quick pass)',
+    )
+
 from repro.code.arrangements import Arrangement
 from repro.code.logical_qubit import LogicalQubit
 from repro.hardware.circuit import HardwareCircuit

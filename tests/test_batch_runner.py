@@ -1,0 +1,187 @@
+"""Property-based batch tests: BatchRunner reproduces single-shot trajectories.
+
+With per-shot rng streams (the default), batched shots must reproduce a loop
+of single-shot ``CircuitInterpreter`` replays shot-for-shot — outcomes,
+quasi-probability weights, and determinism flags — on Table 1 / Table 2
+programs, including the non-Clifford T-injection path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compiler import TISCC
+from repro.estimator.report import (
+    format_logical_summary,
+    format_outcome_summary,
+    logical_outcome_statistics,
+    outcome_statistics,
+)
+from repro.estimator.sweep import OPERATION_PROGRAMS
+from repro.sim.batch import BatchRunner
+from repro.sim.interpreter import CircuitInterpreter
+
+# Table 1 / Table 2 programs exercised shot-for-shot (name -> (program, shape)).
+PROGRAMS = {
+    "Idle": ([("PrepareZ", (0, 0)), ("Idle", (0, 0))], (1, 1)),
+    "Hadamard": ([("PrepareZ", (0, 0)), ("Hadamard", (0, 0))], (1, 1)),
+    "MeasureZZ": (
+        [("PrepareZ", (0, 0)), ("PrepareZ", (0, 1)), ("MeasureZZ", (0, 0), (0, 1))],
+        (1, 2),
+    ),
+    "BellPrepare": ([("BellPrepare", (0, 0), (0, 1))], (1, 2)),
+    "InjectT": ([("InjectT", (0, 0))], (1, 1)),
+}
+
+
+def compile_program(name, d=2, rounds=1):
+    program, shape = PROGRAMS[name]
+    compiler = TISCC(dx=d, dz=d, tile_rows=shape[0], tile_cols=shape[1], rounds=rounds)
+    return compiler, compiler.compile(program, operation=name)
+
+
+def assert_batch_matches_singles(compiler, compiled, n_shots, seed):
+    batch = compiler.simulate_shots(compiled, n_shots, seed=seed)
+    for k in range(n_shots):
+        single = CircuitInterpreter(compiler.grid, seed=seed + k).run(
+            compiled.circuit, compiled.initial_occupancy
+        )
+        assert set(batch.outcomes) == set(single.outcomes)
+        for label, value in single.outcomes.items():
+            assert int(batch.outcomes[label][k]) == value, (k, label)
+            assert bool(batch.deterministic[label][k]) == single.deterministic[label]
+        assert float(batch.weights[k]) == pytest.approx(single.weight)
+    return batch
+
+
+class TestShotForShot:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_batch_reproduces_single_shot_trajectories(self, name):
+        compiler, compiled = compile_program(name)
+        assert_batch_matches_singles(compiler, compiled, n_shots=5, seed=31)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_any_seed_reproduces_singles_property(self, seed):
+        compiler, compiled = compile_program("MeasureZZ")
+        assert_batch_matches_singles(compiler, compiled, n_shots=3, seed=seed)
+
+    def test_shot_view_materializes_run_result(self):
+        compiler, compiled = compile_program("Idle")
+        batch = compiler.simulate_shots(compiled, 4, seed=77)
+        single = CircuitInterpreter(compiler.grid, seed=78).run(
+            compiled.circuit, compiled.initial_occupancy
+        )
+        view = batch.shot(1)  # seed 77 + 1
+        assert view.outcomes == single.outcomes
+        assert view.deterministic == single.deterministic
+        assert view.weight == pytest.approx(single.weight)
+        assert np.array_equal(view.tableau.x, single.tableau.x)
+        assert np.array_equal(view.tableau.z, single.tableau.z)
+        assert np.array_equal(view.tableau.r, single.tableau.r)
+        assert view.ion_index == single.ion_index
+        assert view.occupancy == single.occupancy
+
+    def test_value_callables_vectorize_over_batch(self):
+        compiler, compiled = compile_program("MeasureZZ")
+        batch = compiler.simulate_shots(compiled, 6, seed=3)
+        joint = [r for r in compiled.results if r.value is not None][-1]
+        values = np.asarray(joint.value(batch))
+        assert values.shape == (6,)
+        for k in range(6):
+            single = CircuitInterpreter(compiler.grid, seed=3 + k).run(
+                compiled.circuit, compiled.initial_occupancy
+            )
+            assert values[k] == joint.value(single)
+
+
+class TestBatchSemantics:
+    def test_same_seed_is_reproducible(self):
+        compiler, compiled = compile_program("MeasureZZ")
+        a = compiler.simulate_shots(compiled, 8, seed=5)
+        b = compiler.simulate_shots(compiled, 8, seed=5)
+        for label in a.outcomes:
+            assert np.array_equal(a.outcomes[label], b.outcomes[label])
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_forced_outcomes_pin_labels(self):
+        compiler, compiled = compile_program("MeasureZZ")
+        reference = compiler.simulate_shots(compiled, 1, seed=9)
+        label = next(
+            lbl for lbl, det in reference.deterministic.items() if not det[0]
+        )
+        pinned = int(reference.outcomes[label][0])
+        batch = compiler.simulate_shots(
+            compiled, 5, seed=123, forced_outcomes={label: pinned}
+        )
+        assert (batch.outcomes[label] == pinned).all()
+
+    def test_shared_stream_mode_statistics(self):
+        """The fast shared-rng mode reproduces the T-state expectations."""
+        compiler, compiled = compile_program("InjectT")
+        batch = compiler.simulate_shots(
+            compiled, 1500, seed=2, independent_streams=False
+        )
+        assert np.allclose(np.abs(batch.weights), np.sqrt(2))  # gamma per T gate
+        lq = compiler.tiles[(0, 0)].patch
+        values = batch.expectation(lq.logical_x.pauli).astype(float)
+        for label in lq.logical_x.corrections:
+            values = values * batch.sign(label)
+        mean, err = batch.estimate(values)
+        assert mean == pytest.approx(1 / np.sqrt(2), abs=max(5 * err, 0.08))
+
+    def test_estimate_validates_input(self):
+        compiler, compiled = compile_program("Idle")
+        batch = compiler.simulate_shots(compiled, 3, seed=0)
+        with pytest.raises(ValueError):
+            batch.estimate(np.ones(7))
+        single = compiler.simulate_shots(compiled, 1, seed=0)
+        with pytest.raises(ValueError):
+            single.estimate(np.ones(1))
+
+    def test_error_paths(self):
+        compiler, compiled = compile_program("Idle")
+        runner = BatchRunner(compiler.grid)
+        with pytest.raises(ValueError):
+            runner.run_shots(compiled.circuit, compiled.initial_occupancy, 0)
+        with pytest.raises(ValueError):
+            runner.run_shots(compiled.circuit, {0: 1, 1: 1}, 2)
+
+
+class TestReportSummaries:
+    def test_outcome_statistics_rows(self):
+        compiler, compiled = compile_program("MeasureZZ")
+        batch = compiler.simulate_shots(compiled, 10, seed=4)
+        rows = outcome_statistics(batch)
+        assert len(rows) == len(batch.outcomes)
+        for row in rows:
+            assert row["zeros"] + row["ones"] == 10
+            assert 0.0 <= row["deterministic"] <= 1.0
+        text = format_outcome_summary(batch, title="outcomes", limit=3)
+        assert "outcomes" in text and "more labels" in text
+
+    def test_logical_summary(self):
+        compiler, compiled = compile_program("MeasureZZ")
+        batch = compiler.simulate_shots(compiled, 20, seed=6)
+        rows = logical_outcome_statistics(compiled, batch)
+        assert [r["name"] for r in rows] == ["MeasureZZ"]
+        assert rows[0]["mean"] == pytest.approx(1.0)  # |00> has ZZ = +1
+        assert rows[0]["p_minus"] == pytest.approx(0.0)
+        assert "MeasureZZ" in format_logical_summary(compiled, batch)
+
+    def test_logical_summary_empty(self):
+        compiler, compiled = compile_program("Idle")
+        batch = compiler.simulate_shots(compiled, 3, seed=1)
+        assert logical_outcome_statistics(compiled, batch) == []
+        assert "no logical measurement" in format_logical_summary(compiled, batch)
+
+
+def test_operation_programs_cover_batch_runner():
+    """Every registered sweep operation also runs under the batch engine."""
+    name = "PrepareZ"
+    build, shape = OPERATION_PROGRAMS[name]
+    compiler = TISCC(dx=2, dz=2, tile_rows=shape[0], tile_cols=shape[1], rounds=1)
+    compiled = compiler.compile(build(), operation=name)
+    batch = compiler.simulate_shots(compiled, 4, seed=0)
+    assert batch.n_shots == 4
+    assert (batch.weights == 1.0).all()

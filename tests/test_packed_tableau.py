@@ -1,0 +1,299 @@
+"""Cross-backend equivalence: PackedTableau vs StabilizerTableau vs DenseSimulator.
+
+Randomized Clifford-circuit fuzzing drives all three state backends through
+identical trajectories (measurement outcomes forced to the dense reference's
+draws) and asserts agreement on stabilizer generators, forced-measurement
+outcomes, determinism flags, and expectation values.  The packed backend is
+additionally exercised across 64-bit word boundaries (n > 64), on masked
+per-lane gate application, and on lossless to/from-tableau round trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.code.pauli import PauliString
+from repro.sim.dense import DenseSimulator
+from repro.sim.gates import CLIFFORD_GATES, apply_to_tableau
+from repro.sim.packed import PackedTableau, apply_packed, pack_bits, unpack_bits
+from repro.sim.tableau import StabilizerTableau
+
+GATES_1Q = sorted(g for g in CLIFFORD_GATES if g != "ZZ")
+
+
+def random_circuit(n, depth, seed):
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(depth):
+        if n >= 2 and rng.random() < 0.3:
+            a, b = rng.choice(n, 2, replace=False)
+            ops.append(("ZZ", (int(a), int(b))))
+        else:
+            ops.append((GATES_1Q[rng.integers(len(GATES_1Q))], (int(rng.integers(n)),)))
+    return ops
+
+
+def random_pauli(n, rng, max_weight=4):
+    ops = {}
+    for q in rng.choice(n, min(n, max_weight), replace=False):
+        p = "IXYZ"[rng.integers(4)]
+        if p != "I":
+            ops[int(q)] = p
+    return PauliString(ops) if ops else None
+
+
+def assert_same_state(packed: PackedTableau, tab: StabilizerTableau, lane: int):
+    got = packed.to_tableau(lane)
+    assert np.array_equal(got.x, tab.x)
+    assert np.array_equal(got.z, tab.z)
+    assert np.array_equal(got.r, tab.r)
+
+
+def run_three_backends(n, depth, seed, batch=2):
+    """Drive all three backends through one forced trajectory; return them."""
+    tab = StabilizerTableau(n)
+    packed = PackedTableau(n, batch=batch)
+    dense = DenseSimulator(n)
+    rng = np.random.default_rng(seed)
+    for k, (name, qubits) in enumerate(random_circuit(n, depth, seed)):
+        apply_to_tableau(tab, name, qubits)
+        apply_packed(packed, name, qubits)
+        dense.apply(name, qubits)
+        if k % 6 == 3:
+            q = int(rng.integers(n))
+            outcome, det_dense = dense.measure(q, rng)
+            out_tab, det_tab = tab.measure(q, forced=outcome)
+            out_packed, det_packed = packed.measure(q, forced=outcome)
+            assert out_tab == outcome
+            assert (out_packed == outcome).all()
+            assert det_tab == det_dense
+            assert (det_packed == det_dense).all()
+    return tab, packed, dense
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_trajectories_and_expectations(self, seed):
+        n = 4
+        tab, packed, dense = run_three_backends(n, 40, seed)
+        for lane in range(packed.batch):
+            assert_same_state(packed, tab, lane)
+        rng = np.random.default_rng(seed + 999)
+        for _ in range(30):
+            p = random_pauli(n, rng)
+            if p is None:
+                continue
+            e_tab = tab.expectation(p)
+            e_packed = packed.expectation(p)
+            assert (e_packed == e_tab).all()
+            assert e_tab == pytest.approx(dense.expectation(p), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_stabilizer_generators_agree(self, seed):
+        tab, packed, dense = run_three_backends(4, 30, seed + 50)
+        gens_tab = tab.stabilizer_generators()
+        gens_packed = packed.stabilizer_generators(0)
+        assert gens_tab == gens_packed
+        for g in gens_tab:
+            assert dense.expectation(g) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(100))
+    def test_fuzz_three_backends(self, seed):
+        n = 4
+        tab, packed, dense = run_three_backends(n, 50, 1000 + seed, batch=1)
+        assert_same_state(packed, tab, 0)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            p = random_pauli(n, rng)
+            if p is None:
+                continue
+            e = tab.expectation(p)
+            assert (packed.expectation(p) == e).all()
+            assert e == pytest.approx(dense.expectation(p), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_multiword_packed_matches_tableau(self, seed):
+        """n > 64 exercises word-boundary bit packing (no dense reference)."""
+        n = 70
+        tab = StabilizerTableau(n)
+        packed = PackedTableau(n, batch=2)
+        rng = np.random.default_rng(seed)
+        for k, (name, qubits) in enumerate(random_circuit(n, 120, seed + 7)):
+            apply_to_tableau(tab, name, qubits)
+            apply_packed(packed, name, qubits)
+            if k % 17 == 11:
+                q = int(rng.integers(n))
+                outcome, det = tab.measure(q, rng)
+                out_p, det_p = packed.measure(q, forced=outcome)
+                assert (out_p == outcome).all() and (det_p == det).all()
+        assert_same_state(packed, tab, 0)
+        assert_same_state(packed, tab, 1)
+        # word-straddling Pauli support
+        p = PauliString({62: "X", 63: "Y", 64: "Z", 69: "X"})
+        assert (packed.expectation(p) == tab.expectation(p)).all()
+
+
+class TestDirectTwoQubitGates:
+    """cnot/cz are part of the packed gate set but not reachable through
+    apply_packed (the native circuit alphabet only has ZZ), so fuzz them
+    against the seed backend's methods directly."""
+
+    @pytest.mark.parametrize("n", [3, 70])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cnot_cz_match_seed_backend(self, n, seed):
+        tab = StabilizerTableau(n)
+        packed = PackedTableau(n, batch=2)
+        rng = np.random.default_rng(seed)
+        for _ in range(60):
+            a, b = (int(q) for q in rng.choice(n, 2, replace=False))
+            which = rng.integers(4)
+            if which == 0:
+                tab.cnot(a, b)
+                packed.cnot(a, b)
+            elif which == 1:
+                tab.cz(a, b)
+                packed.cz(a, b)
+            elif which == 2:
+                tab.h(a)
+                packed.h(a)
+            else:
+                tab.s(a)
+                packed.s(a)
+        assert_same_state(packed, tab, 0)
+        assert_same_state(packed, tab, 1)
+
+    def test_masked_cz_acts_per_lane(self):
+        ref_plain = StabilizerTableau(2)
+        ref_cz = StabilizerTableau(2)
+        packed = PackedTableau(2, batch=2)
+        for t in (ref_plain, ref_cz):
+            t.h(0)
+            t.h(1)
+        packed.h(0)
+        packed.h(1)
+        ref_cz.cz(0, 1)
+        packed.cz(0, 1, mask=np.array([False, True]))
+        assert_same_state(packed, ref_plain, 0)
+        assert_same_state(packed, ref_cz, 1)
+
+
+class TestPackedSpecifics:
+    def test_round_trip_conversion_lossless(self):
+        tab = StabilizerTableau(70)
+        for name, qubits in random_circuit(70, 150, 3):
+            apply_to_tableau(tab, name, qubits)
+        packed = PackedTableau.from_tableau(tab, batch=3)
+        for lane in range(3):
+            assert_same_state(packed, tab, lane)
+
+    def test_pack_unpack_inverse(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(5, 130), dtype=np.uint8)
+        words = pack_bits(bits)
+        assert words.shape == (5, 3)
+        assert np.array_equal(unpack_bits(words, 130), bits)
+
+    def test_masked_gates_act_per_lane(self):
+        packed = PackedTableau(1, batch=4)
+        mask = np.array([True, False, True, False])
+        packed.h(0, mask=mask)
+        for lane, expect in enumerate([{0: "X"}, {0: "Z"}, {0: "X"}, {0: "Z"}]):
+            assert packed.stabilizer_generators(lane) == [PauliString(expect)]
+
+    def test_masked_substitutes_match_unpacked(self):
+        """A masked S-layer equals applying S to only those lanes' tableaux."""
+        ref_plain = StabilizerTableau(2)
+        ref_s = StabilizerTableau(2)
+        packed = PackedTableau(2, batch=3)
+        for t in (ref_plain, ref_s):
+            t.h(0)
+            t.cnot(0, 1)
+        packed.h(0)
+        packed.cnot(0, 1)
+        ref_s.s(1)
+        packed.s(1, mask=np.array([False, True, False]))
+        assert_same_state(packed, ref_plain, 0)
+        assert_same_state(packed, ref_s, 1)
+        assert_same_state(packed, ref_plain, 2)
+
+    def test_lanes_evolve_independently_under_measurement(self):
+        packed = PackedTableau(1, batch=64)
+        packed.h(0)
+        outcomes, det = packed.measure(0, np.random.default_rng(5))
+        assert not det.any()
+        assert 0 < outcomes.sum() < 64  # both outcomes occur across lanes
+        again, det2 = packed.measure(0)
+        assert det2.all()
+        assert np.array_equal(again, outcomes)  # pinned per lane
+
+    def test_per_shot_generators_reproduce_single_shots(self):
+        rngs = [np.random.default_rng(100 + k) for k in range(8)]
+        packed = PackedTableau(2, batch=8)
+        packed.h(0)
+        packed.cnot(0, 1)
+        outcomes, _ = packed.measure(0, rngs)
+        for k in range(8):
+            tab = StabilizerTableau(2)
+            tab.h(0)
+            tab.cnot(0, 1)
+            out, _ = tab.measure(0, np.random.default_rng(100 + k))
+            assert out == outcomes[k]
+
+    def test_forced_contradiction_raises(self):
+        packed = PackedTableau(2, batch=3)
+        with pytest.raises(ValueError, match="contradicts deterministic"):
+            packed.measure(0, forced=1)
+
+    def test_forced_contradiction_after_entangling(self):
+        """Deterministic branch with a multi-row destabilizer product."""
+        packed = PackedTableau(2, batch=2)
+        packed.h(0)
+        packed.cnot(0, 1)
+        first, _ = packed.measure(0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            packed.measure(1, forced=1 - first)
+        out, det = packed.measure(1, forced=first)
+        assert det.all() and np.array_equal(out, first)
+
+    def test_reset_and_expectation_batched(self):
+        packed = PackedTableau(2, batch=16)
+        packed.h(0)
+        packed.zz(0, 1)
+        packed.reset(0, np.random.default_rng(1))
+        z0 = packed.expectation(PauliString({0: "Z"}))
+        assert (z0 == 1).all()
+
+    def test_error_paths(self):
+        packed = PackedTableau(2, batch=2)
+        with pytest.raises(ValueError):
+            PackedTableau(0)
+        with pytest.raises(ValueError):
+            PackedTableau(2, batch=0)
+        with pytest.raises(ValueError):
+            packed.h(5)
+        with pytest.raises(ValueError):
+            packed.cnot(1, 1)
+        with pytest.raises(ValueError):
+            packed.h(0, mask=np.array([True]))  # wrong mask shape
+        randomized = PackedTableau(2, batch=2)
+        randomized.h(0)
+        with pytest.raises(ValueError):
+            randomized.measure(0, rng=None)  # random outcome needs an rng
+        with pytest.raises(ValueError):
+            packed.measure(0, forced=np.zeros(5))  # wrong forced shape
+        with pytest.raises(ValueError):
+            packed.expectation(PauliString({0: "X"}, phase=1))  # non-Hermitian
+        with pytest.raises(ValueError):
+            apply_packed(packed, "Z_pi/8", (0,))
+        with pytest.raises(ValueError):
+            apply_packed(packed, "Warp", (0,))
+
+    def test_copy_is_independent(self):
+        packed = PackedTableau(3, batch=2)
+        packed.h(0)
+        clone = packed.copy()
+        clone.h(1)
+        assert not np.array_equal(clone.x, packed.x)
+        # the byte views stay aliased to the copied storage
+        clone.s(0)
+        assert_same_state(packed, packed.to_tableau(0), 0)

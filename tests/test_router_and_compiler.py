@@ -115,6 +115,52 @@ class TestCompilerFacade:
         with pytest.raises(ValueError):
             compiler.compile([("Teleport", (0, 0))])
 
+    def test_unknown_mnemonic_message_lists_supported(self):
+        compiler = TISCC(dx=2, dz=2, rounds=1)
+        with pytest.raises(ValueError, match="unknown mnemonic 'Teleport'") as exc:
+            compiler.compile([("Teleport", (0, 0))])
+        for mnemonic in TISCC.MNEMONICS:
+            assert mnemonic in str(exc.value)
+
+    @pytest.mark.parametrize(
+        "step",
+        [
+            ("PrepareZ",),                          # missing tile coord
+            ("PrepareZ", (0, 0), (0, 1)),           # one coord too many
+            ("MeasureZZ", (0, 0)),                  # needs two tiles
+            ("MergeContract", (0, 0)),              # needs two tiles (+ keep)
+        ],
+    )
+    def test_dispatch_wrong_arity(self, step):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        with pytest.raises(TypeError):
+            compiler.compile([step])
+
+    def test_dispatch_optional_direction_defaults(self):
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile([("PrepareZ", (0, 0)), ("Move", (0, 0))])
+        assert compiled.results[-1].name == "Move"
+
+    def test_logical_timesteps_aggregation(self):
+        """CompiledOperation.logical_timesteps sums Table 1 per-step costs."""
+        compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+        compiled = compiler.compile(
+            [
+                ("PrepareZ", (0, 0)),    # 1 step
+                ("PauliX", (0, 0)),      # 0 steps (transversal)
+                ("Idle", (0, 0)),        # 1 step
+                ("MeasureZ", (0, 0)),    # 0 steps
+            ]
+        )
+        assert [r.logical_timesteps for r in compiled.results] == [1, 0, 1, 0]
+        assert compiled.logical_timesteps == 2
+
+    def test_logical_timesteps_empty_program(self):
+        compiler = TISCC(dx=2, dz=2, rounds=1)
+        compiled = compiler.compile([], operation="noop")
+        assert compiled.logical_timesteps == 0
+        assert compiled.results == []
+
     def test_to_text_roundtrip(self):
         from repro.sim.parser import parse_circuit
 
@@ -164,3 +210,20 @@ class TestCli:
         from repro.__main__ import main
 
         assert main(["compile", "--op", "Nope"]) == 2
+
+    def test_sample_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(
+            ["sample", "--op", "MeasureZZ", "--dx", "2", "--dz", "2",
+             "--rounds", "1", "--shots", "20", "--seed", "1", "--outcomes"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sampled MeasureZZ" in out
+        assert "logical outcomes" in out
+        assert "measurement outcomes" in out
+
+    def test_sample_unknown_op(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sample", "--op", "Nope"]) == 2

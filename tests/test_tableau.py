@@ -94,6 +94,46 @@ class TestMeasurement:
         with pytest.raises(ValueError):
             tab.measure(0, forced=1)
 
+    def test_forced_contradiction_after_entangling(self):
+        """Deterministic branch with a multi-row destabilizer product.
+
+        Regression for the vectorized scratch-row accumulation: after a Bell
+        measurement pins qubit 1, its outcome is the phase of a *product* of
+        stabilizer rows, and forcing the opposite value must raise while
+        forcing the correct value must succeed.
+        """
+        for seed in range(5):
+            tab = StabilizerTableau(2)
+            tab.h(0)
+            tab.cnot(0, 1)
+            first, det0 = tab.measure(0, np.random.default_rng(seed))
+            assert not det0
+            probe = tab.copy()
+            with pytest.raises(ValueError, match="contradicts deterministic"):
+                probe.measure(1, forced=1 - first)
+            outcome, det = tab.measure(1, forced=first)
+            assert det and outcome == first
+
+    def test_deterministic_product_phase_vectorized(self):
+        """The prefix-XOR product matches step-by-step accumulation."""
+        rng = np.random.default_rng(7)
+        for seed in range(20):
+            tab = StabilizerTableau(5)
+            for name, qubits in random_circuit(5, 40, seed + 300):
+                apply_to_tableau(tab, name, qubits)
+            q = int(rng.integers(5))
+            tab.measure(q, rng)  # pin q so remeasuring is deterministic
+            expected, det = tab.copy().measure(q)
+            assert det
+            rows = tab.n + np.nonzero(tab.x[: tab.n, q])[0]
+            xs, zs, rs = tab._product_of_rows(rows)
+            assert rs == expected
+            # the product is the Z_q stabilizer the outcome is read from
+            ref_x = np.zeros(tab.n, dtype=np.uint8)
+            ref_z = np.zeros(tab.n, dtype=np.uint8)
+            ref_z[q] = 1
+            assert np.array_equal(xs, ref_x) and np.array_equal(zs, ref_z)
+
     def test_reset(self):
         tab = StabilizerTableau(1)
         tab.h(0)
