@@ -20,8 +20,8 @@ def test_ablation_ancilla_strip_saves_a_timestep():
     post-split boundary stabilizers would need dt more rounds (fn 7)."""
     rows = []
     for dt in (2, 3, 5):
-        with_strip = dt          # rounds actually compiled
-        without = dt + dt        # fn 7: split would need dt more
+        with_strip = dt  # rounds actually compiled
+        without = dt + dt  # fn 7: split would need dt more
         rows.append([dt, with_strip, without, f"{without/with_strip:.1f}x"])
     print_table(
         "Ablation — ancilla strip (fn 7): rounds per Measure XX/ZZ",

@@ -16,6 +16,7 @@ or via pytest (quick scale): ``pytest benchmarks/bench_packed_batch.py -s``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -125,11 +126,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--d", type=int, default=None, help="code distance override")
     parser.add_argument("--shots", type=int, default=None)
+    parser.add_argument("--json", default=None, help="write results to a JSON file")
     args = parser.parse_args(argv)
     d = args.d if args.d is not None else (3 if args.quick else 5)
     shots = args.shots if args.shots is not None else (200 if args.quick else 1000)
     res = compare_throughput(d=d, shots=shots, interp_shots=20 if args.quick else 25)
     report(res)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(res, fh, indent=2)
+        print(f"wrote {args.json}")
     if not args.quick and res["speedup_shared"] < 10.0:
         print("WARNING: speedup below the 10x acceptance target")
         return 1

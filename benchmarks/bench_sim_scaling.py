@@ -10,7 +10,7 @@ stack via direct tableau scaling.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import fresh_patch, print_table, simulate
+from benchmarks.conftest import fresh_patch, simulate
 from repro.sim.tableau import StabilizerTableau
 
 

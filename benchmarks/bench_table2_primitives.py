@@ -3,7 +3,6 @@
 Each primitive's patch count and logical time-step cost, compiled and timed.
 """
 
-import pytest
 
 from benchmarks.conftest import fresh_patch, print_table
 from repro.code.patch_ops import merge, split

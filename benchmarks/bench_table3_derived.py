@@ -1,6 +1,5 @@
 """Table 3: the derived instruction set (Bell ops, Move, fusions)."""
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.core.compiler import TISCC

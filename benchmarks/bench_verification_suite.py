@@ -21,7 +21,9 @@ def test_sec42_preparation_matrix():
             f = verify_preparation(3, 3, arr, state)
             rows.append([arr.name, state, f"{f:.6f}"])
             assert f == pytest.approx(1.0)
-    print_table("§4.2 — state-tomography fidelities (d=3)", ["arrangement", "state", "fidelity"], rows)
+    print_table(
+        "§4.2 — state-tomography fidelities (d=3)", ["arrangement", "state", "fidelity"], rows
+    )
 
 
 def test_sec43_one_tile_processes():
@@ -43,7 +45,9 @@ def test_sec43_one_tile_processes():
     f = verify_process(3, 3, Arrangement.STANDARD, hadamard, ideal="H")
     rows.append(["Hadamard", "H", f"{f:.6f}"])
     assert f == pytest.approx(1.0)
-    print_table("§4.3 — process-tomography fidelities (d=3)", ["operation", "ideal", "fidelity"], rows)
+    print_table(
+        "§4.3 — process-tomography fidelities (d=3)", ["operation", "ideal", "fidelity"], rows
+    )
 
 
 def test_sec44_two_tile_branches():

@@ -16,8 +16,8 @@ def main() -> None:
 
     compiled = compiler.compile(
         [
-            ("PrepareZ", (0, 0)),        # |0>_L on the left tile   (1 step)
-            ("PrepareX", (0, 1)),        # |+>_L on the right tile  (1 step)
+            ("PrepareZ", (0, 0)),  # |0>_L on the left tile   (1 step)
+            ("PrepareX", (0, 1)),  # |+>_L on the right tile  (1 step)
             ("MeasureZZ", (0, 0), (0, 1)),  # lattice-surgery joint measurement
             ("MeasureZ", (0, 0)),
             ("MeasureZ", (0, 1)),

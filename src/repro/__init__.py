@@ -18,17 +18,35 @@ Quickstart::
     print(compiled.resources.row())
     result = compiler.simulate(compiled, seed=1)
     print("ZZ outcome:", compiled.results[-1].value(result))
+
+Noise & decoding::
+
+    from repro import MemoryExperiment, NoiseModel
+    experiment = MemoryExperiment(distance=3, basis="Z")
+    report = experiment.run(1000, noise=NoiseModel.preset("near_term"), seed=1)
+    print(f"logical error rate {report.logical_error_rate:.4f} "
+          f"(raw {report.raw_error_rate:.4f})")
+
+``NoiseModel`` presets (``ideal`` / ``near_term`` / ``projected``) derive
+per-operation Pauli channel probabilities from a few physical parameters
+and the :data:`~repro.hardware.model.GATE_TIMES_US` durations (longer
+operations dephase more); ``MemoryExperiment`` decodes every shot with a
+union-find decoder over the compiled schedule's detector graph.  The
+``tiscc lfr`` CLI subcommand and ``examples/threshold_sweep.py`` sweep
+distances and physical rates through the same pipeline.
 """
 
 from repro.core.compiler import TISCC, CompiledOperation
 from repro.core.tiles import TileGrid
 from repro.code.logical_qubit import LogicalQubit
 from repro.code.arrangements import Arrangement
+from repro.decode import MemoryExperiment, UnionFindDecoder
 from repro.hardware.grid import GridManager
 from repro.hardware.model import HardwareModel, GATE_TIMES_US
 from repro.hardware.circuit import HardwareCircuit
+from repro.sim.noise import NOISE_PRESETS, NoiseModel, NoiseParams
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TISCC",
@@ -40,5 +58,10 @@ __all__ = [
     "HardwareModel",
     "HardwareCircuit",
     "GATE_TIMES_US",
+    "MemoryExperiment",
+    "UnionFindDecoder",
+    "NoiseModel",
+    "NoiseParams",
+    "NOISE_PRESETS",
     "__version__",
 ]

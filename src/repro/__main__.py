@@ -9,6 +9,8 @@ Examples::
     tiscc render --dx 3 --dz 3
     tiscc sweep --op Idle --distances 3 5 7
     tiscc sample --op MeasureZZ --dx 3 --dz 3 --shots 500 --seed 1
+    tiscc lfr --distances 3 5 --rates 3e-4 5e-3 --shots 1000
+    tiscc lfr --distances 3 --noise near_term --shots 500
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import time
 
 from repro.code.arrangements import Arrangement
 from repro.estimator.report import (
+    format_logical_error_table,
     format_logical_summary,
     format_outcome_summary,
     format_resource_table,
@@ -91,6 +94,48 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lfr(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.estimator.sweep import logical_error_sweep
+    from repro.sim.noise import NoiseModel
+
+    if args.shots < 2:
+        print("--shots must be at least 2")
+        return 2
+    try:
+        if args.rates is not None:
+            models = [NoiseModel.uniform(p) for p in args.rates]
+        else:
+            base = NoiseModel.preset(args.noise)
+            models = [base.scaled(s) if s != 1.0 else base for s in args.scales]
+        t0 = time.perf_counter()
+        reports = logical_error_sweep(
+            args.distances,
+            noise_models=models,
+            shots=args.shots,
+            basis=args.basis,
+            rounds=args.rounds,
+            seed=args.seed,
+        )
+    except ValueError as err:
+        # Bad rates/scales/distances surface as one-line messages, not tracebacks.
+        print(err)
+        return 2
+    elapsed = time.perf_counter() - t0
+    print(
+        f"# logical error rates: {args.basis}-basis memory, distances "
+        f"{args.distances}, {args.shots} shots each, seed {args.seed} "
+        f"({elapsed:.1f} s total)"
+    )
+    print(format_logical_error_table(reports, title="decoded logical error rates"))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
+        print(f"# wrote {args.json}")
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.code.patch_layout import PatchLayout
     from repro.hardware.grid import GridManager
@@ -150,6 +195,37 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sample.add_argument("--max-labels", type=int, default=16)
     p_sample.set_defaults(fn=_cmd_sample)
+
+    p_lfr = sub.add_parser(
+        "lfr",
+        help="logical error rate: noisy batched sampling + union-find decoding",
+    )
+    p_lfr.add_argument("--distances", type=int, nargs="+", default=[3, 5])
+    p_lfr.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        help="physical rates; each p becomes the single-knob uniform(p) model",
+    )
+    p_lfr.add_argument(
+        "--noise",
+        default="near_term",
+        help="noise preset (used when --rates is not given)",
+    )
+    p_lfr.add_argument(
+        "--scales",
+        type=float,
+        nargs="+",
+        default=[1.0],
+        help="scale factors applied to the preset's rates",
+    )
+    p_lfr.add_argument("--shots", type=int, default=1000)
+    p_lfr.add_argument("--basis", choices=["Z", "X"], default="Z")
+    p_lfr.add_argument("--rounds", type=int, default=None)
+    p_lfr.add_argument("--seed", type=int, default=0)
+    p_lfr.add_argument("--json", default=None, help="also write reports to a JSON file")
+    p_lfr.set_defaults(fn=_cmd_lfr)
 
     p_render = sub.add_parser("render", help="render a patch layout (Fig 1/Fig 2)")
     p_render.add_argument("--dx", type=int, default=3)

@@ -29,7 +29,6 @@ escape hatch and otherwise raise :class:`DeformationError`.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.code.arrangements import Arrangement
 from repro.code.logical_qubit import LogicalQubit, TrackedOperator, _symplectic
@@ -37,7 +36,6 @@ from repro.code.pauli import PauliString
 from repro.code.patch_ops import _evacuate_stale_ions, _staff_measure_ions
 from repro.code.plaquette import Plaquette
 from repro.hardware.circuit import HardwareCircuit
-from repro.hardware.relocation import RelocationError, relocate_ion
 from repro.util.gf2 import gf2_in_rowspace
 
 __all__ = [

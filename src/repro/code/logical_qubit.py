@@ -142,7 +142,9 @@ class LogicalQubit:
         for (i, j), site in self.layout.data_sites().items():
             existing = self.grid.ion_at(site)
             self.data_ions[(i, j)] = (
-                existing if existing is not None else self.grid.add_ion(site, f"{self.name}:d{i},{j}")
+                existing
+                if existing is not None
+                else self.grid.add_ion(site, f"{self.name}:d{i},{j}")
             )
         for plaq in self.plaquettes:
             existing = self.grid.ion_at(plaq.home)

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 
 from repro.code.arrangements import Arrangement
 from repro.code.logical_qubit import LogicalQubit, TrackedOperator
-from repro.code.pauli import PauliString
 from repro.code.stabilizer_circuits import RoundRecord
 from repro.hardware.circuit import HardwareCircuit
 from repro.hardware.relocation import RelocationError, relocate_ion

@@ -24,8 +24,7 @@ from __future__ import annotations
 
 from repro.code.arrangements import Arrangement
 from repro.code.logical_qubit import LogicalQubit, TrackedOperator
-from repro.code.patch_layout import PatchLayout
-from repro.code.patch_ops import _evacuate_stale_ions, _staff_measure_ions
+from repro.code.patch_ops import _staff_measure_ions
 from repro.code.stabilizer_circuits import RoundRecord
 from repro.hardware.relocation import RelocationError, relocate_ion
 from repro.hardware.circuit import HardwareCircuit

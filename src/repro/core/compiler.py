@@ -13,7 +13,7 @@ circuit, validity report, resource estimate, and (optionally) a simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.derived import DerivedInstructions
 from repro.core.instructions import InstructionResult
@@ -23,6 +23,7 @@ from repro.hardware.resources import ResourceReport, estimate_resources
 from repro.hardware.validity import ValidityReport, check_circuit
 from repro.sim.batch import BatchResult, BatchRunner
 from repro.sim.interpreter import CircuitInterpreter, RunResult
+from repro.sim.noise import NoiseModel
 
 __all__ = ["TISCC", "CompiledOperation"]
 
@@ -143,6 +144,8 @@ class TISCC:
         seed: int | None = 0,
         forced_outcomes: dict | None = None,
         independent_streams: bool = True,
+        noise: NoiseModel | None = None,
+        noise_seed: int | None = None,
     ) -> BatchResult:
         """Replay a compiled operation across a whole batch of Monte-Carlo shots.
 
@@ -151,6 +154,10 @@ class TISCC:
         as per-shot arrays.  With ``independent_streams`` (default) shot
         ``k`` reproduces ``simulate(compiled, seed + k)`` exactly; turn it
         off for maximum throughput when only batch statistics matter.
+
+        ``noise`` (a :class:`~repro.sim.noise.NoiseModel`) injects
+        hardware-calibrated Pauli channels into the replay; see
+        :meth:`~repro.sim.batch.BatchRunner.run_shots`.
         """
         runner = BatchRunner(self.grid)
         return runner.run_shots(
@@ -160,4 +167,6 @@ class TISCC:
             seed=seed,
             forced_outcomes=forced_outcomes,
             independent_streams=independent_streams,
+            noise=noise,
+            noise_seed=noise_seed,
         )

@@ -103,7 +103,9 @@ class DerivedInstructions(InstructionSet):
         )
 
     # ------------------------------------------------- extension family
-    def patch_extension(self, circuit: HardwareCircuit, coord, direction="right") -> InstructionResult:
+    def patch_extension(
+        self, circuit: HardwareCircuit, coord, direction="right"
+    ) -> InstructionResult:
         """Extend a one-tile patch onto the neighbouring tile (1 step)."""
         lq = self.tiles.require_initialized(coord)
         orientation = "horizontal" if direction in ("right",) else "vertical"
@@ -176,7 +178,9 @@ class DerivedInstructions(InstructionSet):
             frames=[("conjugate_pair", frame_sign)],
         )
 
-    def merge_contract(self, circuit: HardwareCircuit, coord_a, coord_b, keep="near") -> InstructionResult:
+    def merge_contract(
+        self, circuit: HardwareCircuit, coord_a, coord_b, keep="near"
+    ) -> InstructionResult:
         """Measure ZZ/XX fused with measuring one patch out (1 step, App. A)."""
         orientation, first, second = self.tiles.orientation_between(coord_a, coord_b)
         lq_a = self.tiles.require_initialized(first)

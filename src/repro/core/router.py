@@ -129,7 +129,7 @@ def bell_chain(
         s = 1
         for pr in pair_results:
             if pr.labels["orientation"] == "vertical":
-                s *= pr.value(result)      # the merge measured XX directly
+                s *= pr.value(result)  # the merge measured XX directly
             else:
                 s *= pr.frames[0][1](result)  # XX is the seam's conjugate frame
         for sw in swap_results:

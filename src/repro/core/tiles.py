@@ -12,7 +12,7 @@ coordinates onto grid origins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.code.logical_qubit import LogicalQubit
 from repro.code.patch_layout import tile_unit_cols, tile_unit_rows

@@ -1,0 +1,22 @@
+"""Syndrome decoding: matching graphs, union-find decoding, memory experiments.
+
+Closes the loop from compiled stabilizer schedules to logical error rates:
+:mod:`repro.decode.graph` extracts the detector structure (syndrome
+differences between QEC rounds plus boundary nodes), :mod:`repro.decode.union_find`
+decodes whole shot batches with cluster growth + peeling, and
+:mod:`repro.decode.memory` packages the standard memory experiment that
+drives distance/rate sweeps and the ``tiscc lfr`` CLI.
+"""
+
+from repro.decode.graph import BOUNDARY, DetectorEdge, MatchingGraph, build_memory_graph
+from repro.decode.memory import MemoryExperiment
+from repro.decode.union_find import UnionFindDecoder
+
+__all__ = [
+    "BOUNDARY",
+    "DetectorEdge",
+    "MatchingGraph",
+    "build_memory_graph",
+    "UnionFindDecoder",
+    "MemoryExperiment",
+]

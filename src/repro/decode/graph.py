@@ -1,0 +1,156 @@
+"""Matching graphs: detector structure of a repeated syndrome schedule.
+
+A *detector* is the XOR of two syndrome measurements that is deterministic
+(zero) in the absence of faults.  For a memory experiment with ``R`` rounds
+of error correction over one stabilizer sector (the faces whose outcomes the
+tracked logical depends on), the detectors form ``R + 1`` time slices of the
+face lattice:
+
+* slice ``0`` compares round 0 against the transversally prepared state
+  (whose relevant stabilizer outcomes are deterministic),
+* slice ``t`` (``1 <= t < R``) compares rounds ``t`` and ``t - 1``, and
+* slice ``R`` compares the face parities recomputed from the final
+  transversal data measurements against round ``R - 1``.
+
+Every single Pauli fault flips at most two detectors, which is what makes
+the structure a *matching* graph:
+
+* a data error between rounds flips the slice-``t`` detectors of the (at
+  most two) same-sector faces containing that qubit — a **space** edge, or a
+  **boundary** edge when only one face checks the qubit;
+* a syndrome-measurement error in round ``t`` flips slices ``t`` and
+  ``t + 1`` of the same face — a **time** edge (readout errors of the final
+  transversal measurement behave like space edges in slice ``R``);
+* a data error in the *middle* of round ``t`` — after the early face's
+  measure-ion visit but before the late face's (§3.3 Z/N pattern layers) —
+  is caught by the late face this round and the early face only next round:
+  a **diagonal** edge from the late face at slice ``t`` to the early face at
+  slice ``t + 1``, emitted when the caller supplies the schedule's per-face
+  visit layers.
+
+Each space/boundary edge records whether its data qubit lies on the tracked
+logical operator's support (``frame = 1``): the decoder's correction flips
+the logical verdict once per frame edge it uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BOUNDARY", "DetectorEdge", "MatchingGraph", "build_memory_graph"]
+
+#: Virtual node index for the open boundary of the patch.
+BOUNDARY = -1
+
+
+@dataclass(frozen=True)
+class DetectorEdge:
+    """One fault mechanism connecting two detectors (or one and the boundary).
+
+    ``u``/``v`` are detector node ids (``v`` may be :data:`BOUNDARY`),
+    ``frame`` is 1 when the fault flips the tracked logical operator, and
+    ``kind`` tags the mechanism (``"space"`` or ``"time"``).
+    """
+
+    u: int
+    v: int
+    frame: int = 0
+    kind: str = "space"
+
+
+class MatchingGraph:
+    """A decoding graph over ``n_detectors`` nodes plus one open boundary."""
+
+    def __init__(self, n_detectors: int, edges: list[DetectorEdge]):
+        if n_detectors < 1:
+            raise ValueError("need at least one detector")
+        for e in edges:
+            for node in (e.u, e.v):
+                if node != BOUNDARY and not 0 <= node < n_detectors:
+                    raise ValueError(f"edge {e} references unknown detector {node}")
+            if e.u == e.v:
+                raise ValueError(f"self-loop edge {e}")
+        self.n_detectors = n_detectors
+        self.edges = list(edges)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MatchingGraph {self.n_detectors} detectors, {self.n_edges} edges>"
+
+
+def build_memory_graph(
+    face_supports: list[set[int]],
+    logical_sites: set[int],
+    rounds: int,
+    visit_layers: list[dict[int, int]] | None = None,
+) -> MatchingGraph:
+    """Decoding graph for ``rounds`` QEC rounds over one stabilizer sector.
+
+    ``face_supports[f]`` is the set of data qsites checked by face ``f`` (all
+    faces of the sector anticommuting with the error type that flips the
+    tracked logical); ``logical_sites`` the tracked logical operator's data
+    support.  Detector ``(f, t)`` gets node id ``t * F + f`` for time slices
+    ``t = 0 .. rounds`` — the layout syndrome extraction must follow.
+
+    ``visit_layers[f]`` maps each of face ``f``'s data qsites to the layer
+    (1-4) in which its measure ion visits that qubit; when given, mid-round
+    data errors on shared qubits get their exact diagonal edges (without
+    them a single such fault needs two edges, which noticeably degrades the
+    union-find decoder's effective distance).
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round of error correction")
+    n_faces = len(face_supports)
+    if n_faces < 1:
+        raise ValueError("need at least one face in the decoded sector")
+
+    site_faces: dict[int, list[int]] = {}
+    for f, support in enumerate(face_supports):
+        for site in support:
+            site_faces.setdefault(site, []).append(f)
+
+    edges: list[DetectorEdge] = []
+    slices = rounds + 1
+    for t in range(slices):
+        base = t * n_faces
+        for site, faces in sorted(site_faces.items()):
+            frame = 1 if site in logical_sites else 0
+            if len(faces) == 2:
+                edges.append(
+                    DetectorEdge(base + faces[0], base + faces[1], frame, "space")
+                )
+            elif len(faces) == 1:
+                edges.append(DetectorEdge(base + faces[0], BOUNDARY, frame, "space"))
+            else:
+                raise ValueError(
+                    f"data site {site} is checked by {len(faces)} same-sector "
+                    "faces; a surface-code sector allows at most two"
+                )
+    for t in range(slices - 1):
+        for f in range(n_faces):
+            edges.append(
+                DetectorEdge(t * n_faces + f, (t + 1) * n_faces + f, 0, "time")
+            )
+    if visit_layers is not None:
+        if len(visit_layers) != n_faces:
+            raise ValueError("visit_layers must give one site->layer map per face")
+        for site, faces in sorted(site_faces.items()):
+            if len(faces) != 2:
+                continue  # boundary qubits are covered at both adjacent slices
+            frame = 1 if site in logical_sites else 0
+            early, late = sorted(faces, key=lambda f: visit_layers[f][site])
+            if visit_layers[early][site] == visit_layers[late][site]:
+                raise ValueError(
+                    f"faces {early} and {late} both visit site {site} in "
+                    "the same layer; the Z/N pattern forbids this"
+                )
+            for t in range(slices - 1):
+                edges.append(
+                    DetectorEdge(
+                        t * n_faces + late, (t + 1) * n_faces + early, frame, "diagonal"
+                    )
+                )
+    return MatchingGraph(slices * n_faces, edges)

@@ -1,0 +1,211 @@
+"""Memory experiments: compile, noisily sample, and decode one patch.
+
+The canonical benchmark behind every "logical error rate vs distance" plot:
+prepare a logical |0> (or |+>), run ``R`` rounds of error correction, and
+measure the logical operator transversally.  :class:`MemoryExperiment`
+compiles that program once through the TISCC stack, extracts the detector
+structure from the compiled stabilizer schedule (the per-round face outcome
+labels of the patch's :class:`~repro.code.stabilizer_circuits.RoundRecord`
+bookkeeping plus the final transversal data labels), and decodes whole
+:class:`~repro.sim.batch.BatchResult` batches with the union-find decoder.
+
+Only the stabilizer sector that checks the tracked logical is decoded: a
+Z-basis memory tracks logical Z, which is flipped by X data errors, which
+fire the Z faces (and symmetrically for X memories).  The complementary
+sector's outcomes are simulated but carry no information about this
+logical, so they never enter the matching graph.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.compiler import TISCC
+from repro.decode.graph import MatchingGraph, build_memory_graph
+from repro.decode.union_find import UnionFindDecoder
+from repro.estimator.report import LogicalErrorReport
+from repro.sim.batch import BatchResult
+from repro.sim.noise import NoiseModel
+
+__all__ = ["MemoryExperiment"]
+
+
+class MemoryExperiment:
+    """A distance-``d`` memory experiment with a prebuilt decoder.
+
+    ``basis`` selects the tracked logical: ``"Z"`` prepares |0>, idles for
+    ``rounds`` rounds (default ``max(dx, dz)``), measures every data qubit
+    in Z, and decodes the Z-face detector graph; ``"X"`` is the transversal
+    dual.  Compilation and graph construction happen once in the
+    constructor; :meth:`run` then samples and decodes arbitrarily many
+    batches against the same compiled circuit.
+    """
+
+    def __init__(
+        self,
+        distance: int | None = None,
+        dx: int | None = None,
+        dz: int | None = None,
+        rounds: int | None = None,
+        basis: str = "Z",
+    ):
+        if basis not in ("Z", "X"):
+            raise ValueError("memory basis must be 'Z' or 'X'")
+        if distance is not None:
+            dx = dz = distance
+        if dx is None or dz is None:
+            raise ValueError("give either distance or both dx and dz")
+        self.basis = basis
+        self.compiler = TISCC(dx=dx, dz=dz, tile_rows=1, tile_cols=1, rounds=rounds)
+        program = [(f"Prepare{basis}", (0, 0)), (f"Measure{basis}", (0, 0))]
+        self.compiled = self.compiler.compile(program, operation=f"{basis}Memory")
+
+        patch = self.compiler.tiles[(0, 0)].patch
+        assert patch is not None
+        self.rounds = len(patch.round_records)
+        self.faces = [p for p in patch.plaquettes if p.pauli == basis]
+        logical = patch.logical_z if basis == "Z" else patch.logical_x
+        self.logical_sites = set(logical.pauli.support)
+
+        #: Face outcome labels per round, in face order: ``[round][face]``.
+        self.round_labels: list[list[str]] = [
+            [rec.outcome_labels[p.face] for p in self.faces]
+            for rec in patch.round_records
+        ]
+        measure_result = self.compiled.results[-1]
+        site_label = {
+            patch.layout.data_site(*ij): label
+            for ij, label in measure_result.labels.items()
+        }
+        #: Final transversal data labels per face, in face order.
+        self.final_labels: list[list[str]] = [
+            [site_label[s] for s in sorted(p.data_sites.values())] for p in self.faces
+        ]
+        self._logical_value = measure_result.value
+
+        self.graph: MatchingGraph = build_memory_graph(
+            [set(p.data_sites.values()) for p in self.faces],
+            self.logical_sites,
+            self.rounds,
+            visit_layers=[
+                {p.data_sites[corner]: layer for layer, corner in p.visits()}
+                for p in self.faces
+            ],
+        )
+        self.decoder = UnionFindDecoder(self.graph)
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def dx(self) -> int:
+        return self.compiled.dx
+
+    @property
+    def dz(self) -> int:
+        return self.compiled.dz
+
+    @property
+    def n_detectors(self) -> int:
+        return self.graph.n_detectors
+
+    # ------------------------------------------------------------- sampling
+    def sample(
+        self,
+        n_shots: int,
+        noise: NoiseModel | None = None,
+        seed: int | None = 0,
+        noise_seed: int | None = None,
+        independent_streams: bool = False,
+    ) -> BatchResult:
+        """Noisy batched replay of the compiled memory circuit.
+
+        Defaults to the shared-stream (maximum-throughput) rng mode: memory
+        experiments only ever consume batch statistics.
+        """
+        return self.compiler.simulate_shots(
+            self.compiled,
+            n_shots,
+            seed=seed,
+            independent_streams=independent_streams,
+            noise=noise,
+            noise_seed=noise_seed,
+        )
+
+    # ------------------------------------------------------------ detectors
+    def syndromes(self, batch: BatchResult) -> np.ndarray:
+        """Detector bit matrix ``(n_shots, n_detectors)`` for a batch.
+
+        Slice 0 is the first round's face outcomes (deterministic for the
+        prepared state), slices ``1..R-1`` are consecutive-round XORs, and
+        slice ``R`` XORs the last round against face parities recomputed
+        from the final transversal data measurements.
+        """
+        n_faces = len(self.faces)
+        det = np.empty((batch.n_shots, self.n_detectors), dtype=np.uint8)
+        prev = np.zeros((batch.n_shots, n_faces), dtype=np.uint8)
+        for t, labels in enumerate(self.round_labels):
+            cur = np.stack([batch.outcomes[lab] for lab in labels], axis=1)
+            det[:, t * n_faces : (t + 1) * n_faces] = cur ^ prev
+            prev = cur
+        final = np.zeros((batch.n_shots, n_faces), dtype=np.uint8)
+        for f, labels in enumerate(self.final_labels):
+            for lab in labels:
+                final[:, f] ^= batch.outcomes[lab]
+        det[:, self.rounds * n_faces :] = final ^ prev
+        return det
+
+    def measured_flips(self, batch: BatchResult) -> np.ndarray:
+        """Raw (undecoded) logical flips per shot: measured sign != prepared."""
+        values = np.asarray(self._logical_value(batch))
+        return (values < 0).astype(np.uint8)
+
+    # -------------------------------------------------------------- decoding
+    def decode_batch(self, batch: BatchResult) -> np.ndarray:
+        """Decoded logical verdicts: raw flip XOR decoder-predicted flip.
+
+        A nonzero entry is a *logical error* — the decoder failed to undo
+        the flip (or introduced one).
+        """
+        predicted = self.decoder.decode_batch(self.syndromes(batch))
+        return self.measured_flips(batch) ^ predicted
+
+    def run(
+        self,
+        n_shots: int,
+        noise: NoiseModel | None = None,
+        seed: int | None = 0,
+        noise_seed: int | None = None,
+    ) -> LogicalErrorReport:
+        """Sample ``n_shots``, decode them, and summarize the logical fidelity."""
+        t0 = time.perf_counter()
+        batch = self.sample(n_shots, noise=noise, seed=seed, noise_seed=noise_seed)
+        sim_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        syndromes = self.syndromes(batch)
+        raw = self.measured_flips(batch)
+        failures = raw ^ self.decoder.decode_batch(syndromes)
+        decode_seconds = time.perf_counter() - t0
+
+        params = noise.params if noise is not None else None
+        return LogicalErrorReport(
+            operation=self.compiled.operation,
+            dx=self.dx,
+            dz=self.dz,
+            rounds=self.rounds,
+            n_shots=n_shots,
+            noise_name=noise.name if noise is not None else "none",
+            physical_rate=params.p2 if params is not None else None,
+            failures=int(failures.sum()),
+            raw_failures=int(raw.sum()),
+            mean_defects=float(syndromes.sum(axis=1).mean()),
+            sim_seconds=sim_seconds,
+            decode_seconds=decode_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MemoryExperiment {self.basis} dx={self.dx} dz={self.dz} "
+            f"rounds={self.rounds} detectors={self.n_detectors}>"
+        )

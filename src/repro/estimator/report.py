@@ -1,7 +1,10 @@
-"""Tabular formatting of resource estimates (paper §3.4) and of batched
-shot statistics (logical-error / outcome summaries over the §4 sampler)."""
+"""Tabular formatting of resource estimates (paper §3.4), batched shot
+statistics (logical-error / outcome summaries over the §4 sampler), and
+decoded logical-error-rate reports (noisy sampling + union-find decoding)."""
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -13,6 +16,8 @@ __all__ = [
     "format_outcome_summary",
     "logical_outcome_statistics",
     "format_logical_summary",
+    "LogicalErrorReport",
+    "format_logical_error_table",
 ]
 
 
@@ -109,6 +114,98 @@ def logical_outcome_statistics(compiled, batch) -> list[dict]:
             }
         )
     return rows
+
+
+@dataclass
+class LogicalErrorReport:
+    """Decoded logical fidelity of one noisy memory-experiment batch.
+
+    ``failures`` counts shots whose decoded logical verdict was wrong
+    (measured logical flip XOR decoder prediction); ``raw_failures`` counts
+    undecoded logical flips — the gap between the two is what the decoder
+    buys.  ``mean_defects`` is the average number of fired detectors per
+    shot (a proxy for the physical error burden the decoder saw).
+    """
+
+    operation: str
+    dx: int
+    dz: int
+    rounds: int
+    n_shots: int
+    noise_name: str
+    physical_rate: float | None
+    failures: int
+    raw_failures: int
+    mean_defects: float
+    sim_seconds: float
+    decode_seconds: float
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.failures / self.n_shots
+
+    @property
+    def raw_error_rate(self) -> float:
+        return self.raw_failures / self.n_shots
+
+    @property
+    def stderr(self) -> float:
+        """Binomial standard error of the decoded logical error rate."""
+        p = self.logical_error_rate
+        return float(np.sqrt(p * (1.0 - p) / self.n_shots))
+
+    @staticmethod
+    def header() -> list[str]:
+        return [
+            "operation", "dx", "dz", "rounds", "noise", "shots",
+            "LER", "stderr", "raw", "defects/shot", "sim [s]", "decode [s]",
+        ]
+
+    def row(self) -> list[str]:
+        return [
+            self.operation,
+            str(self.dx),
+            str(self.dz),
+            str(self.rounds),
+            self.noise_name,
+            str(self.n_shots),
+            f"{self.logical_error_rate:.4f}",
+            f"{self.stderr:.4f}",
+            f"{self.raw_error_rate:.4f}",
+            f"{self.mean_defects:.2f}",
+            f"{self.sim_seconds:.2f}",
+            f"{self.decode_seconds:.2f}",
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (used by benchmark artifacts and the CLI)."""
+        return {
+            "operation": self.operation,
+            "dx": self.dx,
+            "dz": self.dz,
+            "rounds": self.rounds,
+            "n_shots": self.n_shots,
+            "noise": self.noise_name,
+            "physical_rate": self.physical_rate,
+            "failures": self.failures,
+            "raw_failures": self.raw_failures,
+            "logical_error_rate": self.logical_error_rate,
+            "raw_error_rate": self.raw_error_rate,
+            "stderr": self.stderr,
+            "mean_defects": self.mean_defects,
+            "sim_seconds": self.sim_seconds,
+            "decode_seconds": self.decode_seconds,
+        }
+
+
+def format_logical_error_table(reports: list[LogicalErrorReport], title: str = "") -> str:
+    """Render decoded logical-error-rate reports, one row per batch."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(_table(LogicalErrorReport.header(), [r.row() for r in reports]))
+    return "\n".join(lines)
 
 
 def format_logical_summary(compiled, batch, title: str = "") -> str:

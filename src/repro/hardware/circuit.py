@@ -10,7 +10,7 @@ simulator's parser.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 __all__ = ["Instruction", "HardwareCircuit"]

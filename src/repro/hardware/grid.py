@@ -71,10 +71,10 @@ class GridManager:
 
         # --- ion registry -------------------------------------------------
         self._next_ion = 0
-        self._site_of: dict[int, int] = {}          # ion -> site
-        self._occupant: dict[int, int] = {}         # site -> ion
+        self._site_of: dict[int, int] = {}  # ion -> site
+        self._occupant: dict[int, int] = {}  # site -> ion
         self._occupied_since: dict[int, float] = {}  # site -> time parked
-        self._ion_ready: dict[int, float] = {}      # ion -> next free time
+        self._ion_ready: dict[int, float] = {}  # ion -> next free time
         self._ion_tag: dict[int, str] = {}
 
         # --- calendars ----------------------------------------------------

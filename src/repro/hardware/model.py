@@ -20,9 +20,9 @@ unitaries (up to global phase) in ``tests/test_hardware_model.py``:
 from __future__ import annotations
 
 from repro.hardware.circuit import HardwareCircuit
-from repro.hardware.grid import GridManager, JUNCTION_HOP_US, MOVE_US
+from repro.hardware.grid import GridManager, MOVE_US
 
-__all__ = ["GATE_TIMES_US", "HardwareModel", "NATIVE_GATES"]
+__all__ = ["GATE_TIMES_US", "HardwareModel", "NATIVE_GATES", "SINGLE_QUBIT_GATES"]
 
 #: Native operation durations in microseconds — paper Table 5 / Fig 5.
 GATE_TIMES_US: dict[str, float] = {
@@ -47,7 +47,8 @@ GATE_TIMES_US: dict[str, float] = {
 #: Names that may appear in compiled circuit output.
 NATIVE_GATES = frozenset(GATE_TIMES_US) - {"Junction"}
 
-_SINGLE_QUBIT = frozenset(
+#: Native gates acting as single-qubit unitaries (shared with the noise model).
+SINGLE_QUBIT_GATES = frozenset(
     n for n in NATIVE_GATES if n not in {"ZZ", "Move", "Prepare_Z", "Measure_Z"}
 )
 

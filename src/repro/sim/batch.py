@@ -18,6 +18,13 @@ Two randomness modes:
 * ``independent_streams=False`` draws every random vector from one shared
   generator — the maximum-throughput mode for logical-error statistics,
   reproducible as a batch but not relatable to single-shot replays.
+
+Noisy sampling: pass a :class:`~repro.sim.noise.NoiseModel` and its
+hardware-calibrated Pauli channels are injected as vectorized masked Pauli
+layers after each instruction (plus idle-gap dephasing before, and readout
+flips on measurement records).  Noise randomness comes from a dedicated
+generator (``noise_seed``), so the ideal trajectory of every shot is
+unchanged by the presence of a trivial (all-zero-rate) model.
 """
 
 from __future__ import annotations
@@ -37,10 +44,15 @@ from repro.sim.interpreter import (
     init_run_state,
     resolve_qubits,
 )
+from repro.sim.noise import NoiseModel
 from repro.sim.packed import PackedTableau, apply_packed
 from repro.sim.quasi import QuasiCliffordSampler
 
 __all__ = ["BatchRunner", "BatchResult"]
+
+#: Offset mixed into ``seed`` for the dedicated noise stream when no explicit
+#: ``noise_seed`` is given (an arbitrary large odd constant).
+_NOISE_SEED_OFFSET = 0x9E3779B1
 
 
 @dataclass
@@ -132,6 +144,8 @@ class BatchRunner:
         seed: int | None = 0,
         forced_outcomes: dict | None = None,
         independent_streams: bool = True,
+        noise: NoiseModel | None = None,
+        noise_seed: int | None = None,
     ) -> BatchResult:
         """Replay ``circuit`` from a site -> ion occupancy map, ``n_shots`` at once.
 
@@ -140,6 +154,11 @@ class BatchRunner:
         ``default_rng(seed + k)`` exactly like ``CircuitInterpreter(grid,
         seed + k)`` would; with it off, one shared ``default_rng(seed)``
         draws every random vector (fastest).
+
+        ``noise`` injects that model's Pauli channels around every
+        instruction, drawing from a dedicated ``default_rng(noise_seed)``
+        stream (derived from ``seed`` when unset) so ideal trajectories
+        are reproducible independent of the noise draws.
         """
         if n_shots < 1:
             raise ValueError("need at least one shot")
@@ -149,6 +168,15 @@ class BatchRunner:
         weights = np.ones(n_shots)
         outcomes: dict[str, np.ndarray] = {}
         deterministic: dict[str, np.ndarray] = {}
+
+        noise_rng: np.random.Generator | None = None
+        busy_until: np.ndarray | None = None
+        if noise is not None and not noise.is_trivial:
+            if noise_seed is None and seed is not None:
+                noise_seed = seed + _NOISE_SEED_OFFSET
+            noise_rng = np.random.default_rng(noise_seed)
+            if noise.tracks_idle:
+                busy_until = np.zeros(n_qubits)
 
         if independent_streams:
             rngs = [
@@ -164,6 +192,12 @@ class BatchRunner:
         for idx, inst in enumerate(instructions):
             qubits = resolve_qubits(inst, occupancy, ion_index)
 
+            if busy_until is not None and noise_rng is not None:
+                for q in qubits:
+                    gap = inst.t - busy_until[q]
+                    if gap > 0:
+                        noise.apply_idle_dephasing(tableau, q, gap, noise_rng)
+
             if inst.name == "Load":
                 apply_load(inst, occupancy, ion_index, tableau.n)
             elif inst.name == "Move":
@@ -175,6 +209,10 @@ class BatchRunner:
                 out, det = tableau.measure(
                     qubits[0], measure_rng, forced=forced.get(label)
                 )
+                if noise_rng is not None and label not in forced:
+                    # Pinned labels stay pinned: readout flips never override
+                    # a forced_outcomes entry.
+                    out = noise.flip_outcomes(out, noise_rng)
                 outcomes[label] = out
                 deterministic[label] = det
             elif inst.name in NON_CLIFFORD_GATES:
@@ -188,6 +226,12 @@ class BatchRunner:
                 self._apply_substitutes(tableau, gates, tuple(qubits))
             else:
                 apply_packed(tableau, inst.name, tuple(qubits))
+
+            if noise_rng is not None and qubits:
+                noise.apply_operation_noise(tableau, inst, qubits, noise_rng)
+                if busy_until is not None:
+                    for q in qubits:
+                        busy_until[q] = inst.t_end
 
         return BatchResult(
             tableau=tableau,

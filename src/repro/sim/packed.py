@@ -110,8 +110,8 @@ class PackedTableau:
         self.r = np.zeros((batch, 2 * n), dtype=np.uint8)
         idx = np.arange(n)
         bit = _ONE << (idx % 64).astype(np.uint64)
-        self.x[:, idx, idx // 64] = bit           # destabilizer i = X_i
-        self.z[:, n + idx, idx // 64] = bit       # stabilizer i = Z_i
+        self.x[:, idx, idx // 64] = bit  # destabilizer i = X_i
+        self.z[:, n + idx, idx // 64] = bit  # stabilizer i = Z_i
         self._make_views()
 
     def _make_views(self) -> None:
@@ -389,7 +389,7 @@ class PackedTableau:
         self._check_qubit(a)
         n, B = self.n, self.batch
         w, sh = divmod(a, 64)
-        xa = self._col(self._x8, a) != 0              # (B, 2n) bool
+        xa = self._col(self._x8, a) != 0  # (B, 2n) bool
         has_pivot = xa[:, n:].any(axis=1)
         deterministic = ~has_pivot
         outcomes = np.zeros(B, dtype=np.uint8)

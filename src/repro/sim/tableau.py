@@ -47,8 +47,8 @@ class StabilizerTableau:
         self.z = np.zeros((2 * n, n), dtype=np.uint8)
         self.r = np.zeros(2 * n, dtype=np.uint8)
         idx = np.arange(n)
-        self.x[idx, idx] = 1          # destabilizer i = X_i
-        self.z[n + idx, idx] = 1      # stabilizer i = Z_i
+        self.x[idx, idx] = 1  # destabilizer i = X_i
+        self.z[n + idx, idx] = 1  # stabilizer i = Z_i
 
     def copy(self) -> "StabilizerTableau":
         t = StabilizerTableau.__new__(StabilizerTableau)
@@ -256,12 +256,16 @@ class StabilizerTableau:
     def expectation(self, pauli: PauliString, index_of: dict | None = None) -> int:
         """<P> for the current stabilizer state: one of -1, 0, +1 (exact)."""
         xp, zp, rp = self._pauli_bits(pauli, index_of)
-        sym_stab = (self.x[self.n :] @ zp.astype(np.int64) + self.z[self.n :] @ xp.astype(np.int64)) % 2
+        sym_stab = (
+            self.x[self.n :] @ zp.astype(np.int64) + self.z[self.n :] @ xp.astype(np.int64)
+        ) % 2
         if sym_stab.any():
             return 0
         # P is in the stabilizer group (full tableau => centralizer = group).
         # Generator k participates iff P anticommutes with destabilizer k.
-        sym_destab = (self.x[: self.n] @ zp.astype(np.int64) + self.z[: self.n] @ xp.astype(np.int64)) % 2
+        sym_destab = (
+            self.x[: self.n] @ zp.astype(np.int64) + self.z[: self.n] @ xp.astype(np.int64)
+        ) % 2
         xs, zs, rs = self._product_of_rows(self.n + np.nonzero(sym_destab)[0])
         if not (np.array_equal(xs, xp) and np.array_equal(zs, zp)):
             raise AssertionError("internal error: commuting Pauli not in stabilizer group")

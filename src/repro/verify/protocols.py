@@ -28,7 +28,12 @@ from repro.verify.tomography import (
     state_tomography_1q,
 )
 
-__all__ = ["prepare_logical_input", "verify_preparation", "verify_process", "verify_one_tile_identity"]
+__all__ = [
+    "prepare_logical_input",
+    "verify_preparation",
+    "verify_process",
+    "verify_one_tile_identity",
+]
 
 
 def _fresh(dx: int, dz: int, arrangement: Arrangement, margin: tuple[int, int] = (2, 2)):

@@ -5,6 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.code.arrangements import Arrangement
+from repro.code.logical_qubit import LogicalQubit
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.grid import GridManager
+from repro.hardware.model import HardwareModel
+from repro.sim.interpreter import CircuitInterpreter
+
 
 def pytest_configure(config):
     config.addinivalue_line(
@@ -12,13 +19,6 @@ def pytest_configure(config):
         "slow: long-running randomized fuzz suites "
         '(deselect with -m "not slow" for a quick pass)',
     )
-
-from repro.code.arrangements import Arrangement
-from repro.code.logical_qubit import LogicalQubit
-from repro.hardware.circuit import HardwareCircuit
-from repro.hardware.grid import GridManager
-from repro.hardware.model import HardwareModel
-from repro.sim.interpreter import CircuitInterpreter
 
 
 def fresh_patch(dx=3, dz=3, arrangement=Arrangement.STANDARD, margin=(2, 2)):

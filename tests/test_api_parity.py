@@ -1,0 +1,59 @@
+"""RunResult and BatchResult expose interchangeable readout APIs.
+
+Single-shot and batched callers must be able to share post-processing code:
+``sign``, ``expectation`` (qsite-keyed), ``expectation_over_ions``
+(ion-keyed), and ``qubit_of_site`` exist on both result types and agree
+shot-for-shot when the batch runs with per-shot rng streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.code.pauli import PauliString
+from repro.core.compiler import TISCC
+
+READOUT_API = ("sign", "expectation", "expectation_over_ions", "qubit_of_site")
+
+
+def test_result_types_share_the_readout_api():
+    from repro.sim.batch import BatchResult
+    from repro.sim.interpreter import RunResult
+
+    for name in READOUT_API:
+        assert callable(getattr(RunResult, name))
+        assert callable(getattr(BatchResult, name))
+
+
+def test_single_shot_and_batch_results_agree():
+    compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
+    compiled = compiler.compile(
+        [
+            ("PrepareZ", (0, 0)),
+            ("PrepareZ", (0, 1)),
+            ("MeasureZZ", (0, 0), (0, 1)),
+        ]
+    )
+    batch = compiler.simulate_shots(compiled, 3, seed=5, independent_streams=True)
+
+    patch = compiler.tiles[(0, 0)].patch
+    assert patch is not None
+    site_op = patch.logical_z.pauli
+    ion_op = PauliString(
+        {batch.occupancy[site]: letter for site, letter in site_op.ops.items()}
+    )
+
+    batch_site = batch.expectation(site_op)
+    batch_ion = batch.expectation_over_ions(ion_op)
+    assert np.array_equal(batch_site, batch_ion)
+
+    for k in range(batch.n_shots):
+        single = compiler.simulate(compiled, seed=5 + k)
+        shot = batch.shot(k)
+        for result in (single, shot):
+            assert result.expectation(site_op) == batch_site[k]
+            assert result.expectation_over_ions(ion_op) == batch_ion[k]
+            for site in site_op.support:
+                assert result.qubit_of_site(site) == batch.qubit_of_site(site)
+            for label in batch.outcomes:
+                assert result.sign(label) == batch.sign(label)[k]

@@ -185,7 +185,6 @@ class TestMoveRightSwapLeft:
         lq.prepare(c, basis="Z", rounds=1)
         shifted, _ = move_right(c, lq, rounds=1)
         n_before = len(c)
-        gate_names_before = c.gate_histogram()
         swap_left(c, shifted)
         added = [i for i in c.instructions[n_before:]]
         assert all(i.name in ("Move", "Load") for i in added)

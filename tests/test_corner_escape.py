@@ -7,10 +7,7 @@ Tested in isolation here (even-distance flips exercise it end-to-end but
 are a documented limitation, see EXPERIMENTS.md).
 """
 
-import pytest
-
 from repro.code.corner import (
-    DeformationError,
     DeformationSession,
     add_boundary_stabilizer,
 )

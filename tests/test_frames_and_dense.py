@@ -69,7 +69,7 @@ class TestFrames:
     def test_corrected_expectation_applies_ledger(self):
         grid, _, lq, c, occ0 = fresh_patch(2, 2)
         lq.prepare(c, basis="Z", rounds=1)
-        label = lq.measure_out_data_qubit(c, (0, 0), "Z")
+        lq.measure_out_data_qubit(c, (0, 0), "Z")
         res = simulate(grid, c, occ0, seed=1)
         assert corrected_expectation(res, lq.logical_z) == 1.0
 

@@ -1,10 +1,8 @@
 """End-to-end integration: multi-instruction programs, text round-trips,
 Bell-prep verification with two-qubit correlations (§4.2's Bell check)."""
 
-import pytest
 
 from repro.core.compiler import TISCC
-from repro.hardware.circuit import HardwareCircuit
 from repro.sim.interpreter import CircuitInterpreter
 from repro.sim.parser import parse_circuit
 

@@ -116,7 +116,7 @@ class TestRelocation:
         grid = GridManager(2, 2)
         c = HardwareCircuit()
         a = grid.add_ion(grid.index(0, 1))
-        b = grid.add_ion(grid.index(0, 2))
+        grid.add_ion(grid.index(0, 2))
         with pytest.raises(RelocationError):
             relocate_ion(grid, c, a, grid.index(0, 2))
 
@@ -126,7 +126,7 @@ class TestRelocation:
         grid = GridManager(2, 2)
         c = HardwareCircuit()
         traveler = grid.add_ion(grid.index(0, 1), "m:t")
-        blocker = grid.add_ion(grid.index(0, 3), "m:b")
+        grid.add_ion(grid.index(0, 3), "m:b")
         occ0 = grid.occupancy()
         relocate_ion(grid, c, traveler, grid.index(0, 5))
         check_circuit(grid, c, occ0)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.code.arrangements import Arrangement
-from repro.code.pauli import PauliString
 from repro.hardware.validity import check_circuit
 from tests.conftest import corrected, fresh_patch, simulate
 

@@ -106,7 +106,7 @@ class TestMergeSplit:
         mr = merge(c, a, b, "horizontal", rounds=1)
         assert mr.sizes == (4, 2, 4)
         mr.merged.validate()
-        sr = split(c, mr)
+        split(c, mr)
         res = simulate(grid, c, occ0, seed=7)
         assert res.expectation(za * zb) == mr.outcome_sign(res)
 

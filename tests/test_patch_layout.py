@@ -49,9 +49,9 @@ class TestFaces:
         lay = layout(3, 3)
         faces = set(lay.face_coords())
         assert (-1, 1) in faces and (-1, 0) not in faces  # top Z at odd slots
-        assert (2, 0) in faces and (2, 1) not in faces    # bottom Z at even
+        assert (2, 0) in faces and (2, 1) not in faces  # bottom Z at even
         assert (0, -1) in faces and (1, -1) not in faces  # left X at even
-        assert (1, 2) in faces and (0, 2) not in faces    # right X at odd
+        assert (1, 2) in faces and (0, 2) not in faces  # right X at odd
 
     def test_flipped_d3_boundaries_shift(self):
         lay = layout(3, 3, Arrangement.FLIPPED)

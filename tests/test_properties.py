@@ -7,13 +7,10 @@ data qubit within a layer, and simulated logical values are deterministic
 given outcomes.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.code.arrangements import Arrangement
 from repro.code.patch_layout import PatchLayout
-from repro.code.pauli import PauliString
 from repro.hardware.grid import GridManager
 from repro.hardware.validity import check_circuit
 from repro.util.gf2 import gf2_rank

@@ -125,10 +125,10 @@ class TestCompilerFacade:
     @pytest.mark.parametrize(
         "step",
         [
-            ("PrepareZ",),                          # missing tile coord
-            ("PrepareZ", (0, 0), (0, 1)),           # one coord too many
-            ("MeasureZZ", (0, 0)),                  # needs two tiles
-            ("MergeContract", (0, 0)),              # needs two tiles (+ keep)
+            ("PrepareZ",),  # missing tile coord
+            ("PrepareZ", (0, 0), (0, 1)),  # one coord too many
+            ("MeasureZZ", (0, 0)),  # needs two tiles
+            ("MergeContract", (0, 0)),  # needs two tiles (+ keep)
         ],
     )
     def test_dispatch_wrong_arity(self, step):
@@ -146,10 +146,10 @@ class TestCompilerFacade:
         compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
         compiled = compiler.compile(
             [
-                ("PrepareZ", (0, 0)),    # 1 step
-                ("PauliX", (0, 0)),      # 0 steps (transversal)
-                ("Idle", (0, 0)),        # 1 step
-                ("MeasureZ", (0, 0)),    # 0 steps
+                ("PrepareZ", (0, 0)),  # 1 step
+                ("PauliX", (0, 0)),  # 0 steps (transversal)
+                ("Idle", (0, 0)),  # 1 step
+                ("MeasureZ", (0, 0)),  # 0 steps
             ]
         )
         assert [r.logical_timesteps for r in compiled.results] == [1, 0, 1, 0]

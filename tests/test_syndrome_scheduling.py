@@ -3,7 +3,6 @@
 import pytest
 
 from repro.code.arrangements import Arrangement
-from repro.code.pauli import PauliString
 from repro.hardware.validity import check_circuit
 from tests.conftest import fresh_patch, simulate
 
@@ -81,8 +80,7 @@ class TestStabilizerEstablishment:
         grid, _, lq, c, occ0 = fresh_patch(2, 2)
         lq.transversal_prepare(c, basis="Z")
         lq.initialized = True
-        recs = lq.idle(c, rounds=1)
-        zz_times = sorted(i.t_end for i in c.sorted_instructions() if i.name == "ZZ")
+        lq.idle(c, rounds=1)
         res = simulate(grid, c, occ0, seed=4)
         # After the final layer the group contains all the face stabilizers.
         for plaq in lq.plaquettes:
