@@ -11,6 +11,8 @@ Examples::
     tiscc sample --op MeasureZZ --dx 3 --dz 3 --shots 500 --seed 1
     tiscc lfr --distances 3 5 --rates 3e-4 5e-3 --shots 1000
     tiscc lfr --distances 3 --noise near_term --shots 500
+    tiscc lfr --distances 3 5 7 --rates 1e-3 --shots 20000 --engine frame
+    tiscc dem --distance 5 --rate 1e-3 --json dem5.json
 """
 
 from __future__ import annotations
@@ -94,6 +96,45 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_distances(distances: list[int]) -> str | None:
+    """One-line complaint for invalid code distances, or None when fine.
+
+    Surface-code distances on this layout are odd and at least 3 — an even
+    ``d`` silently builds a different (and weaker) code, so it is rejected
+    rather than compiled.
+    """
+    for d in distances:
+        if d < 3:
+            return f"code distances must be at least 3 (got {d})"
+        if d % 2 == 0:
+            return (
+                f"code distances must be odd (got {d}); even distances are "
+                "not surface codes on this layout"
+            )
+    return None
+
+
+def _validate_rates(
+    rates: list[float] | None,
+    scales: list[float] | None = None,
+    flag: str = "--rates",
+) -> str | None:
+    """One-line complaint for invalid physical rates/scales, or None.
+
+    ``flag`` names the offending option in the message (``--rates`` for
+    ``lfr``, ``--rate`` for ``dem``).
+    """
+    for p in rates or ():
+        if p < 0:
+            return f"{flag} must be non-negative probabilities (got {p:g})"
+        if p > 1:
+            return f"{flag} must be probabilities in [0, 1] (got {p:g})"
+    for s in scales or ():
+        if s < 0:
+            return f"--scales must be non-negative (got {s:g})"
+    return None
+
+
 def _cmd_lfr(args: argparse.Namespace) -> int:
     import json
 
@@ -102,6 +143,12 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
 
     if args.shots < 2:
         print("--shots must be at least 2")
+        return 2
+    complaint = _validate_distances(args.distances) or _validate_rates(
+        args.rates, args.scales
+    )
+    if complaint:
+        print(complaint)
         return 2
     try:
         if args.rates is not None:
@@ -117,6 +164,7 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
             basis=args.basis,
             rounds=args.rounds,
             seed=args.seed,
+            engine=args.engine,
         )
     except ValueError as err:
         # Bad rates/scales/distances surface as one-line messages, not tracebacks.
@@ -125,13 +173,79 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - t0
     print(
         f"# logical error rates: {args.basis}-basis memory, distances "
-        f"{args.distances}, {args.shots} shots each, seed {args.seed} "
-        f"({elapsed:.1f} s total)"
+        f"{args.distances}, {args.shots} shots each, seed {args.seed}, "
+        f"{args.engine} engine ({elapsed:.1f} s total)"
     )
     print(format_logical_error_table(reports, title="decoded logical error rates"))
     if args.json:
         with open(args.json, "w") as fh:
             json.dump([r.to_dict() for r in reports], fh, indent=2)
+        print(f"# wrote {args.json}")
+    return 0
+
+
+def _cmd_dem(args: argparse.Namespace) -> int:
+    import json
+    from collections import Counter
+
+    from repro.decode.memory import MemoryExperiment
+    from repro.sim.noise import NoiseModel
+
+    complaint = _validate_distances([args.distance]) or _validate_rates(
+        None if args.rate is None else [args.rate], flag="--rate"
+    )
+    if complaint:
+        print(complaint)
+        return 2
+    if args.rounds is not None and args.rounds < 1:
+        print(f"--rounds must be at least 1 (got {args.rounds})")
+        return 2
+    try:
+        model = (
+            NoiseModel.uniform(args.rate)
+            if args.rate is not None
+            else NoiseModel.preset(args.noise)
+        )
+    except ValueError as err:
+        # Unknown presets surface as one-line messages, not tracebacks.
+        print(err)
+        return 2
+    experiment = MemoryExperiment(
+        distance=args.distance, rounds=args.rounds, basis=args.basis
+    )
+    t0 = time.perf_counter()
+    table = experiment.fault_table(model)
+    dem = experiment.detector_error_model(model)
+    elapsed = time.perf_counter() - t0
+    kinds = Counter(site.kind for site in table.sites)
+    sizes = Counter(len(dets) for dets in dem.detectors)
+    print(
+        f"# detector error model: {args.basis}-basis memory, d={args.distance}, "
+        f"{experiment.rounds} round(s), noise {model.name} "
+        f"({elapsed:.2f} s extraction)"
+    )
+    print(
+        f"detectors: {dem.n_detectors}  observables: {dem.n_observables}  "
+        f"fault sites: {table.n_sites}  mechanisms: {dem.n_mechanisms}"
+    )
+    print("sites by kind: " + ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())))
+    print(
+        "mechanisms by detector count: "
+        + ", ".join(f"|D|={k}: {v}" for k, v in sorted(sizes.items()))
+    )
+    if dem.n_mechanisms:
+        print(
+            f"mechanism probabilities: min {dem.probs.min():.3g}, "
+            f"max {dem.probs.max():.3g}, total weight {dem.probs.sum():.3g}"
+        )
+        print(
+            f"analytic marginals: mean detector rate "
+            f"{dem.detection_rates().mean():.4g}, raw observable flip rate "
+            f"{float(dem.observable_rates()[0]):.4g}"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(dem.to_dict(), fh, indent=2)
         print(f"# wrote {args.json}")
     return 0
 
@@ -224,8 +338,30 @@ def main(argv: list[str] | None = None) -> int:
     p_lfr.add_argument("--basis", choices=["Z", "X"], default="Z")
     p_lfr.add_argument("--rounds", type=int, default=None)
     p_lfr.add_argument("--seed", type=int, default=0)
+    p_lfr.add_argument(
+        "--engine",
+        choices=["frame", "tableau"],
+        default="frame",
+        help="sampling path: DEM frame sampler (fast, default) or packed-tableau replay",
+    )
     p_lfr.add_argument("--json", default=None, help="also write reports to a JSON file")
     p_lfr.set_defaults(fn=_cmd_lfr)
+
+    p_dem = sub.add_parser(
+        "dem",
+        help="extract and summarize a detector error model for a memory experiment",
+    )
+    p_dem.add_argument("--distance", type=int, default=3)
+    p_dem.add_argument("--basis", choices=["Z", "X"], default="Z")
+    p_dem.add_argument("--rounds", type=int, default=None)
+    p_dem.add_argument(
+        "--rate", type=float, default=None, help="uniform(p) single-knob physical rate"
+    )
+    p_dem.add_argument(
+        "--noise", default="near_term", help="noise preset (used when --rate is not given)"
+    )
+    p_dem.add_argument("--json", default=None, help="write the full DEM to a JSON file")
+    p_dem.set_defaults(fn=_cmd_dem)
 
     p_render = sub.add_parser("render", help="render a patch layout (Fig 1/Fig 2)")
     p_render.add_argument("--dx", type=int, default=3)

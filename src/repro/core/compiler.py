@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.derived import DerivedInstructions
 from repro.core.instructions import InstructionResult
 from repro.core.tiles import TileGrid
@@ -132,8 +134,17 @@ class TISCC:
             ) from None
         return fn(*args)
 
-    def simulate(self, compiled: CompiledOperation, seed: int | None = None) -> RunResult:
-        """Replay a compiled operation on the stabilizer backend."""
+    def simulate(
+        self,
+        compiled: CompiledOperation,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+    ) -> RunResult:
+        """Replay a compiled operation on the stabilizer backend.
+
+        ``seed`` is anything ``numpy.random.default_rng`` accepts; use
+        :func:`repro.sim.batch.per_shot_seed` to reproduce one shot of a
+        batched run.
+        """
         interp = CircuitInterpreter(self.grid, seed=seed)
         return interp.run(compiled.circuit, compiled.initial_occupancy)
 
@@ -146,17 +157,22 @@ class TISCC:
         independent_streams: bool = True,
         noise: NoiseModel | None = None,
         noise_seed: int | None = None,
+        shot_offset: int = 0,
+        injections: list | None = None,
     ) -> BatchResult:
         """Replay a compiled operation across a whole batch of Monte-Carlo shots.
 
         Runs on the packed batched backend (:mod:`repro.sim.batch`): outcome
         bitmaps, determinism flags, and quasi-probability weights come back
         as per-shot arrays.  With ``independent_streams`` (default) shot
-        ``k`` reproduces ``simulate(compiled, seed + k)`` exactly; turn it
-        off for maximum throughput when only batch statistics matter.
+        ``k`` reproduces ``simulate`` seeded with the per-shot stream
+        ``per_shot_seed(seed, shot_offset + k)`` exactly; turn it off for
+        maximum throughput when only batch statistics matter.
 
         ``noise`` (a :class:`~repro.sim.noise.NoiseModel`) injects
-        hardware-calibrated Pauli channels into the replay; see
+        hardware-calibrated Pauli channels into the replay; ``injections``
+        adds deterministic :class:`~repro.sim.batch.PauliInjection` faults
+        at fixed instruction positions; see
         :meth:`~repro.sim.batch.BatchRunner.run_shots`.
         """
         runner = BatchRunner(self.grid)
@@ -169,4 +185,6 @@ class TISCC:
             independent_streams=independent_streams,
             noise=noise,
             noise_seed=noise_seed,
+            shot_offset=shot_offset,
+            injections=injections,
         )

@@ -14,6 +14,14 @@ Z-basis memory tracks logical Z, which is flipped by X data errors, which
 fire the Z faces (and symmetrically for X memories).  The complementary
 sector's outcomes are simulated but carry no information about this
 logical, so they never enter the matching graph.
+
+Two sampling engines share the detector layout: the packed-tableau replay
+(:meth:`MemoryExperiment.sample` + :meth:`MemoryExperiment.syndromes`, the
+reference) and the detector-error-model fast path
+(:meth:`MemoryExperiment.detector_error_model` +
+:meth:`MemoryExperiment.sample_frame`, no tableau at all) — select with
+``run(engine="frame")``, which falls back to the tableau automatically for
+non-Clifford schedules.
 """
 
 from __future__ import annotations
@@ -27,6 +35,14 @@ from repro.decode.graph import MatchingGraph, build_memory_graph
 from repro.decode.union_find import UnionFindDecoder
 from repro.estimator.report import LogicalErrorReport
 from repro.sim.batch import BatchResult
+from repro.sim.dem import (
+    DetectorErrorModel,
+    FaultTable,
+    build_dem,
+    dem_structure_key,
+    extract_fault_table,
+)
+from repro.sim.frame import FrameSampler, FrameSamples
 from repro.sim.noise import NoiseModel
 
 __all__ = ["MemoryExperiment"]
@@ -85,6 +101,31 @@ class MemoryExperiment:
         ]
         self._logical_value = measure_result.value
 
+        #: Labels whose XOR parity is the logical readout: the transversal
+        #: labels on the tracked logical's data support, plus any correction
+        #: labels the operator ledger accumulated (empty for plain memory).
+        self.observable_labels: list[str] = [
+            site_label[s] for s in sorted(self.logical_sites)
+        ] + list(logical.corrections)
+        #: Per-detector label sets, id ``t * F + f`` matching :meth:`syndromes`:
+        #: slice 0 is round 0 alone, slice t XORs rounds t/t-1, slice R XORs
+        #: the recomputed final face parity against round R-1.
+        n_faces = len(self.faces)
+        self.detector_labels: list[list[str]] = []
+        for t in range(self.rounds + 1):
+            for f in range(n_faces):
+                if t == 0:
+                    labels = [self.round_labels[0][f]]
+                elif t < self.rounds:
+                    labels = [self.round_labels[t][f], self.round_labels[t - 1][f]]
+                else:
+                    labels = self.final_labels[f] + [self.round_labels[t - 1][f]]
+                self.detector_labels.append(labels)
+
+        #: Fault tables cached per noise-structure key (footprints are
+        #: rate-independent, so a rate sweep extracts at most once).
+        self._fault_tables: dict[tuple, FaultTable] = {}
+
         self.graph: MatchingGraph = build_memory_graph(
             [set(p.data_sites.values()) for p in self.faces],
             self.logical_sites,
@@ -132,6 +173,52 @@ class MemoryExperiment:
             noise_seed=noise_seed,
         )
 
+    # ---------------------------------------------------------- fast path
+    def fault_table(self, noise: NoiseModel) -> FaultTable:
+        """Rate-independent fault footprints for a noise model's structure.
+
+        Extraction walks the compiled circuit once per
+        :func:`~repro.sim.dem.dem_structure_key` (which channels are
+        nonzero) and is cached — sweeping a rate knob rebuilds only the
+        cheap probability layer.
+        """
+        key = dem_structure_key(noise.params)
+        table = self._fault_tables.get(key)
+        if table is None:
+            table = extract_fault_table(
+                self.compiled.circuit,
+                self.compiled.initial_occupancy,
+                noise.params,
+                self.detector_labels,
+                [self.observable_labels],
+            )
+            self._fault_tables[key] = table
+        return table
+
+    def detector_error_model(
+        self, noise: NoiseModel, keep_sources: bool = False
+    ) -> DetectorErrorModel:
+        """Stim-style DEM of this memory experiment under ``noise``."""
+        return build_dem(self.fault_table(noise), noise.params, keep_sources=keep_sources)
+
+    def sample_frame(
+        self,
+        n_shots: int,
+        noise: NoiseModel | None = None,
+        seed: int | None = 0,
+        shot_offset: int = 0,
+    ) -> FrameSamples:
+        """Tableau-free sampling: detection events + logical flips via the DEM.
+
+        Orders of magnitude faster than :meth:`sample` + :meth:`syndromes`
+        (no quantum state is simulated); raises
+        :class:`~repro.sim.dem.DemExtractionError` if the compiled schedule
+        is not Clifford.  Results are chunk-invariant in ``shot_offset``.
+        """
+        model = noise if noise is not None else NoiseModel.preset("ideal")
+        sampler = FrameSampler(self.detector_error_model(model))
+        return sampler.sample(n_shots, seed=seed, shot_offset=shot_offset)
+
     # ------------------------------------------------------------ detectors
     def syndromes(self, batch: BatchResult) -> np.ndarray:
         """Detector bit matrix ``(n_shots, n_detectors)`` for a batch.
@@ -176,8 +263,39 @@ class MemoryExperiment:
         noise: NoiseModel | None = None,
         seed: int | None = 0,
         noise_seed: int | None = None,
+        engine: str = "tableau",
+        max_batch: int | None = None,
     ) -> LogicalErrorReport:
-        """Sample ``n_shots``, decode them, and summarize the logical fidelity."""
+        """Sample ``n_shots``, decode them, and summarize the logical fidelity.
+
+        ``engine`` selects the sampling path: ``"tableau"`` replays the
+        packed stabilizer engine per batch (the reference), ``"frame"``
+        samples detection events directly from the detector error model —
+        no tableau at all — and falls back to the tableau engine
+        automatically if the schedule cannot be folded into a DEM
+        (non-Clifford instructions).  ``max_batch`` chunks frame sampling;
+        per-shot streams make the results identical for any chunking.
+
+        On the frame path *all* randomness is noise randomness, so
+        ``noise_seed`` (when given) selects the mechanism-sampling streams
+        and ``seed`` is only the fallback when it is unset — mirroring the
+        tableau path, where a fixed ``noise_seed`` pins the noise draws.
+        """
+        if engine not in ("frame", "tableau"):
+            raise ValueError(f"engine must be 'frame' or 'tableau', got {engine!r}")
+        if engine == "frame":
+            from repro.sim.dem import DemExtractionError
+
+            try:
+                return self._run_frame(
+                    n_shots,
+                    noise,
+                    seed if noise_seed is None else noise_seed,
+                    max_batch,
+                )
+            except DemExtractionError:
+                pass  # automatic fallback to the reference engine
+
         t0 = time.perf_counter()
         batch = self.sample(n_shots, noise=noise, seed=seed, noise_seed=noise_seed)
         sim_seconds = time.perf_counter() - t0
@@ -188,6 +306,59 @@ class MemoryExperiment:
         failures = raw ^ self.decoder.decode_batch(syndromes)
         decode_seconds = time.perf_counter() - t0
 
+        return self._report(
+            noise,
+            n_shots,
+            failures=int(failures.sum()),
+            raw_failures=int(raw.sum()),
+            mean_defects=float(syndromes.sum(axis=1).mean()),
+            sim_seconds=sim_seconds,
+            decode_seconds=decode_seconds,
+            engine="tableau",
+        )
+
+    def _run_frame(
+        self,
+        n_shots: int,
+        noise: NoiseModel | None,
+        seed: int | None,
+        max_batch: int | None,
+    ) -> LogicalErrorReport:
+        """Frame-engine body of :meth:`run` (DEM built/cached up front)."""
+        model = noise if noise is not None else NoiseModel.preset("ideal")
+        sampler = FrameSampler(self.detector_error_model(model))
+
+        t0 = time.perf_counter()
+        step = max_batch if max_batch is not None and max_batch >= 1 else n_shots
+        parts = [
+            sampler.sample(min(step, n_shots - off), seed=seed, shot_offset=off)
+            for off in range(0, n_shots, step)
+        ]
+        dets = np.concatenate([p.detectors for p in parts], axis=0)
+        raw = np.concatenate([p.observables for p in parts], axis=0)[:, 0]
+        sim_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        failures = raw ^ self.decoder.decode_batch(dets)
+        decode_seconds = time.perf_counter() - t0
+
+        return self._report(
+            noise,
+            n_shots,
+            failures=int(failures.sum()),
+            raw_failures=int(raw.sum()),
+            mean_defects=float(dets.sum(axis=1).mean()),
+            sim_seconds=sim_seconds,
+            decode_seconds=decode_seconds,
+            engine="frame",
+        )
+
+    def _report(
+        self,
+        noise: NoiseModel | None,
+        n_shots: int,
+        **kwargs,
+    ) -> LogicalErrorReport:
         params = noise.params if noise is not None else None
         return LogicalErrorReport(
             operation=self.compiled.operation,
@@ -197,11 +368,7 @@ class MemoryExperiment:
             n_shots=n_shots,
             noise_name=noise.name if noise is not None else "none",
             physical_rate=params.p2 if params is not None else None,
-            failures=int(failures.sum()),
-            raw_failures=int(raw.sum()),
-            mean_defects=float(syndromes.sum(axis=1).mean()),
-            sim_seconds=sim_seconds,
-            decode_seconds=decode_seconds,
+            **kwargs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

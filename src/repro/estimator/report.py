@@ -125,6 +125,9 @@ class LogicalErrorReport:
     undecoded logical flips — the gap between the two is what the decoder
     buys.  ``mean_defects`` is the average number of fired detectors per
     shot (a proxy for the physical error burden the decoder saw).
+    ``engine`` records which sampling path produced the batch:
+    ``"tableau"`` (packed stabilizer replay) or ``"frame"`` (detector-
+    error-model Pauli-frame sampling, the fast path).
     """
 
     operation: str
@@ -139,6 +142,7 @@ class LogicalErrorReport:
     mean_defects: float
     sim_seconds: float
     decode_seconds: float
+    engine: str = "tableau"
 
     @property
     def logical_error_rate(self) -> float:
@@ -158,7 +162,7 @@ class LogicalErrorReport:
     def header() -> list[str]:
         return [
             "operation", "dx", "dz", "rounds", "noise", "shots",
-            "LER", "stderr", "raw", "defects/shot", "sim [s]", "decode [s]",
+            "LER", "stderr", "raw", "defects/shot", "engine", "sim [s]", "decode [s]",
         ]
 
     def row(self) -> list[str]:
@@ -173,6 +177,7 @@ class LogicalErrorReport:
             f"{self.stderr:.4f}",
             f"{self.raw_error_rate:.4f}",
             f"{self.mean_defects:.2f}",
+            self.engine,
             f"{self.sim_seconds:.2f}",
             f"{self.decode_seconds:.2f}",
         ]
@@ -193,6 +198,7 @@ class LogicalErrorReport:
             "raw_error_rate": self.raw_error_rate,
             "stderr": self.stderr,
             "mean_defects": self.mean_defects,
+            "engine": self.engine,
             "sim_seconds": self.sim_seconds,
             "decode_seconds": self.decode_seconds,
         }

@@ -82,6 +82,8 @@ def logical_error_sweep(
     basis: str = "Z",
     rounds: int | None = None,
     seed: int = 0,
+    engine: str = "frame",
+    max_batch: int | None = None,
 ) -> list[LogicalErrorReport]:
     """Decoded logical error rate across code distances and noise strengths.
 
@@ -90,6 +92,15 @@ def logical_error_sweep(
     compiled once (:class:`~repro.decode.memory.MemoryExperiment` reuses its
     circuit and decoder across noise settings); reports come back
     distance-major, matching the nesting of the loops.
+
+    ``engine="frame"`` (default) samples each point from the detector
+    error model — extracted once per distance and re-weighted per noise
+    model, orders of magnitude faster than the packed-tableau replay —
+    falling back to the tableau engine automatically for schedules that
+    cannot be folded into a DEM.  ``engine="tableau"`` forces the
+    reference path.  ``max_batch`` chunks frame sampling; per-shot
+    ``SeedSequence.spawn`` streams make sweep results identical for any
+    chunking (a property the test suite locks down).
     """
     from repro.decode.memory import MemoryExperiment
 
@@ -102,5 +113,9 @@ def logical_error_sweep(
     for d in distances:
         experiment = MemoryExperiment(distance=d, rounds=rounds, basis=basis)
         for model in noise_models:
-            reports.append(experiment.run(shots, noise=model, seed=seed))
+            reports.append(
+                experiment.run(
+                    shots, noise=model, seed=seed, engine=engine, max_batch=max_batch
+                )
+            )
     return reports

@@ -20,7 +20,13 @@ public, so this package re-implements the same interface:
   circuit across all shots in single vectorized passes, returning per-shot
   outcome bitmaps, determinism flags, and quasi-probability weights;
 * :mod:`repro.sim.quasi` — quasi-probability Monte Carlo over Clifford
-  channels for the non-Clifford ``Z_pi/8`` gate (§4.1).
+  channels for the non-Clifford ``Z_pi/8`` gate (§4.1);
+* :mod:`repro.sim.dem` — detector-error-model extraction: one Pauli-frame
+  walk of a compiled circuit folds a noise model into deduplicated error
+  mechanisms (probability, detector footprint, observable mask);
+* :mod:`repro.sim.frame` — the tableau-free fast sampling path: detection
+  events and logical flips drawn straight from a DEM as bit-packed XORs
+  over sampled mechanisms.
 
 The three state backends are interchangeable and cross-validated: random
 Clifford circuits drive :class:`StabilizerTableau`, :class:`PackedTableau`,
@@ -39,8 +45,19 @@ from repro.sim.packed import PackedTableau, apply_packed, pack_bits, unpack_bits
 from repro.sim.dense import DenseSimulator
 from repro.sim.parser import parse_circuit
 from repro.sim.interpreter import CircuitInterpreter, RunResult
-from repro.sim.batch import BatchRunner, BatchResult
+from repro.sim.batch import BatchRunner, BatchResult, PauliInjection, per_shot_seed
 from repro.sim.quasi import QuasiCliffordSampler, channel_decomposition
+from repro.sim.dem import (
+    DemExtractionError,
+    DetectorErrorModel,
+    FaultSite,
+    FaultTable,
+    build_dem,
+    dem_structure_key,
+    extract_dem,
+    extract_fault_table,
+)
+from repro.sim.frame import FrameSampler, FrameSamples
 
 __all__ = [
     "StabilizerTableau",
@@ -54,6 +71,18 @@ __all__ = [
     "RunResult",
     "BatchRunner",
     "BatchResult",
+    "PauliInjection",
+    "per_shot_seed",
     "QuasiCliffordSampler",
     "channel_decomposition",
+    "DemExtractionError",
+    "DetectorErrorModel",
+    "FaultSite",
+    "FaultTable",
+    "build_dem",
+    "dem_structure_key",
+    "extract_dem",
+    "extract_fault_table",
+    "FrameSampler",
+    "FrameSamples",
 ]

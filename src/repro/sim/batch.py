@@ -11,10 +11,17 @@ and per-label outcome bitmaps come back as arrays.
 Two randomness modes:
 
 * ``independent_streams=True`` (default) gives shot ``k`` its own
-  ``default_rng(seed + k)`` consumed in instruction order — exactly the
-  stream a single-shot :class:`~repro.sim.interpreter.CircuitInterpreter`
-  with ``seed + k`` would consume, so batched trajectories reproduce looped
+  generator derived via :func:`per_shot_seed` —
+  ``np.random.SeedSequence(seed, spawn_key=(shot_offset + k,))``, the
+  spawn-key form of ``SeedSequence(seed).spawn(n)[k]`` — consumed in
+  instruction order: exactly the stream a single-shot
+  :class:`~repro.sim.interpreter.CircuitInterpreter` seeded with that
+  SeedSequence would consume, so batched trajectories reproduce looped
   single-shot runs shot-for-shot (outcomes, weights, determinism flags).
+  Because the stream depends only on the *absolute* shot index, a run
+  split into chunks with matching ``shot_offset`` reproduces the unsplit
+  run bit-for-bit (the same contract as
+  :class:`~repro.sim.frame.FrameSampler`).
 * ``independent_streams=False`` draws every random vector from one shared
   generator — the maximum-throughput mode for logical-error statistics,
   reproducible as a batch but not relatable to single-shot replays.
@@ -48,11 +55,51 @@ from repro.sim.noise import NoiseModel
 from repro.sim.packed import PackedTableau, apply_packed
 from repro.sim.quasi import QuasiCliffordSampler
 
-__all__ = ["BatchRunner", "BatchResult"]
+__all__ = ["BatchRunner", "BatchResult", "PauliInjection", "per_shot_seed"]
 
 #: Offset mixed into ``seed`` for the dedicated noise stream when no explicit
 #: ``noise_seed`` is given (an arbitrary large odd constant).
 _NOISE_SEED_OFFSET = 0x9E3779B1
+
+
+def per_shot_seed(seed: int | None, shot: int) -> np.random.SeedSequence | None:
+    """Seed for the independent stream of absolute shot index ``shot``.
+
+    The single source of truth for per-shot randomness, shared by
+    :class:`BatchRunner` and :class:`~repro.sim.frame.FrameSampler`:
+    ``SeedSequence(seed, spawn_key=(shot,))`` is exactly the ``shot``-th
+    child ``SeedSequence(seed).spawn()`` would produce, but addressable by
+    absolute index — which is what makes chunked runs reproduce unchunked
+    ones.  ``None`` (no seed) stays ``None``: fresh OS entropy per shot.
+    """
+    if seed is None:
+        return None
+    return np.random.SeedSequence(seed, spawn_key=(shot,))
+
+
+@dataclass(frozen=True)
+class PauliInjection:
+    """A deterministic Pauli inserted into the replay at a fixed location.
+
+    ``index`` addresses ``circuit.sorted_instructions()``; the Pauli given
+    by ``ops`` (``(tableau qubit, letter)`` pairs) is applied ``when`` =
+    ``"before"`` or ``"after"`` that instruction executes, to every shot
+    (``shot=None``) or one batch lane.  This is the cross-engine test hook:
+    a :class:`~repro.sim.dem.FaultSite`'s Pauli injected here must flip
+    exactly the detectors and observables its DEM mechanism predicts.
+    """
+
+    index: int
+    when: str = "after"
+    ops: tuple[tuple[int, str], ...] = ()
+    shot: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.when not in ("before", "after"):
+            raise ValueError(f"injection 'when' must be before/after, got {self.when!r}")
+        for _, letter in self.ops:
+            if letter not in ("X", "Y", "Z"):
+                raise ValueError(f"injection Pauli letter must be X/Y/Z, got {letter!r}")
 
 
 @dataclass
@@ -146,23 +193,32 @@ class BatchRunner:
         independent_streams: bool = True,
         noise: NoiseModel | None = None,
         noise_seed: int | None = None,
+        shot_offset: int = 0,
+        injections: list[PauliInjection] | None = None,
     ) -> BatchResult:
         """Replay ``circuit`` from a site -> ion occupancy map, ``n_shots`` at once.
 
         ``forced_outcomes`` pins measurement labels (scalar or per-shot
-        arrays).  With ``independent_streams`` (default) shot ``k`` consumes
-        ``default_rng(seed + k)`` exactly like ``CircuitInterpreter(grid,
-        seed + k)`` would; with it off, one shared ``default_rng(seed)``
-        draws every random vector (fastest).
+        arrays).  With ``independent_streams`` (default) shot ``k``
+        consumes ``default_rng(per_shot_seed(seed, shot_offset + k))``
+        exactly like a ``CircuitInterpreter`` seeded with that
+        SeedSequence would; with it off, one shared ``default_rng(seed)``
+        draws every random vector (fastest; ``shot_offset`` is then
+        irrelevant to the draws).
 
         ``noise`` injects that model's Pauli channels around every
         instruction, drawing from a dedicated ``default_rng(noise_seed)``
         stream (derived from ``seed`` when unset) so ideal trajectories
-        are reproducible independent of the noise draws.
+        are reproducible independent of the noise draws.  ``injections``
+        adds deterministic :class:`PauliInjection` faults at fixed
+        instruction positions (the DEM cross-engine test hook).
         """
         if n_shots < 1:
             raise ValueError("need at least one shot")
         forced = forced_outcomes or {}
+        pending_injections: dict[tuple[int, str], list[PauliInjection]] = {}
+        for inj in injections or ():
+            pending_injections.setdefault((inj.index, inj.when), []).append(inj)
         occupancy, ion_index, n_qubits = init_run_state(circuit, initial_occupancy)
         tableau = PackedTableau(n_qubits, batch=n_shots)
         weights = np.ones(n_shots)
@@ -180,7 +236,7 @@ class BatchRunner:
 
         if independent_streams:
             rngs = [
-                np.random.default_rng(None if seed is None else seed + k)
+                np.random.default_rng(per_shot_seed(seed, shot_offset + k))
                 for k in range(n_shots)
             ]
             measure_rng: object = rngs
@@ -189,8 +245,21 @@ class BatchRunner:
             measure_rng = shared
 
         instructions = circuit.sorted_instructions()
+        for entries in pending_injections.values():
+            for inj in entries:
+                if not 0 <= inj.index < len(instructions):
+                    raise ValueError(
+                        f"injection index {inj.index} outside circuit of {len(instructions)}"
+                    )
+                if inj.shot is not None and not 0 <= inj.shot < n_shots:
+                    raise ValueError(
+                        f"injection shot {inj.shot} outside batch of {n_shots}"
+                    )
         for idx, inst in enumerate(instructions):
             qubits = resolve_qubits(inst, occupancy, ion_index)
+
+            for inj in pending_injections.get((idx, "before"), ()):
+                self._inject(tableau, inj)
 
             if busy_until is not None and noise_rng is not None:
                 for q in qubits:
@@ -227,6 +296,9 @@ class BatchRunner:
             else:
                 apply_packed(tableau, inst.name, tuple(qubits))
 
+            for inj in pending_injections.get((idx, "after"), ()):
+                self._inject(tableau, inj)
+
             if noise_rng is not None and qubits:
                 noise.apply_operation_noise(tableau, inst, qubits, noise_rng)
                 if busy_until is not None:
@@ -241,6 +313,17 @@ class BatchRunner:
             deterministic=deterministic,
             weights=weights,
         )
+
+    @staticmethod
+    def _inject(tableau: PackedTableau, inj: PauliInjection) -> None:
+        """Apply one deterministic Pauli injection (whole batch or one lane)."""
+        mask = None
+        if inj.shot is not None:
+            mask = np.zeros(tableau.batch, dtype=bool)
+            mask[inj.shot] = True
+        for q, letter in inj.ops:
+            apply = {"X": tableau.pauli_x, "Y": tableau.pauli_y, "Z": tableau.pauli_z}[letter]
+            apply(q, mask=mask)
 
     @staticmethod
     def _apply_substitutes(

@@ -1,0 +1,512 @@
+"""Detector-error-model (DEM) extraction from compiled hardware circuits.
+
+Walks one compiled :class:`~repro.hardware.circuit.HardwareCircuit` *once*,
+enumerating every Pauli fault a :class:`~repro.sim.noise.NoiseModel` could
+inject (the exact channel structure of
+:meth:`NoiseModel.apply_operation_noise`: depolarizing terms after gates,
+mis-preparation flips, classical readout flips, and duration-derived
+dephasing including idle gaps), and conjugates each fault through the
+remaining Clifford schedule as a bit-packed Pauli frame — one bit lane per
+fault site, all lanes propagated together.  A fault's observable effect is
+the set of measurement labels whose outcomes it flips; projected onto a set
+of *detectors* (label sets whose XOR is deterministic in the noiseless
+circuit) and *observables* (deterministic logical readout parities), this
+yields a Stim-style :class:`DetectorErrorModel`: deduplicated error
+mechanisms with probabilities, detector footprints, and observable masks.
+
+The DEM is the input to the tableau-free
+:class:`~repro.sim.frame.FrameSampler`, which samples detection events and
+observable flips for whole batches as bit-packed XORs over sampled
+mechanisms — orders of magnitude faster than driving the packed tableau
+per shot.
+
+Exactness: Pauli frames commute through Clifford gates up to phase, so a
+mechanism's detector footprint and observable flip are *exact* — every
+single-fault prediction is verified against explicit Pauli injection into
+the packed-tableau engine in ``tests/test_dem_equivalence.py``.  Two
+standard first-order approximations relate DEM *sampling* to the tableau
+noise channels: the three (fifteen) mutually-exclusive outcomes of a
+depolarizing channel become independent mechanisms, and mechanisms with
+identical footprints are XOR-combined (``p = p1(1-p2) + p2(1-p1)``); both
+differ from the exclusive channel only at O(p^2).
+
+Fault-site enumeration depends only on the noise model's *structure* (which
+rates are nonzero — see :func:`dem_structure_key`), never on the rate
+values, so callers sweeping a rate knob can extract the
+:class:`FaultTable` once and rebuild cheap DEMs per parameter set via
+:func:`build_dem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.model import SINGLE_QUBIT_GATES
+from repro.sim.gates import NON_CLIFFORD_GATES
+from repro.sim.interpreter import (
+    apply_load,
+    apply_move,
+    init_run_state,
+    resolve_qubits,
+)
+from repro.sim.noise import NoiseModel, NoiseParams
+from repro.sim.packed import unpack_bits
+
+__all__ = [
+    "DemExtractionError",
+    "FaultSite",
+    "FaultTable",
+    "DetectorErrorModel",
+    "dem_structure_key",
+    "enumerate_fault_sites",
+    "extract_fault_table",
+    "build_dem",
+    "extract_dem",
+]
+
+
+class DemExtractionError(RuntimeError):
+    """The circuit cannot be folded into a detector error model.
+
+    Raised for non-Clifford schedules (quasi-probability T substitutes are
+    per-shot random, so no fixed fault footprint exists) and unknown
+    instructions.  Callers that want graceful degradation catch this and
+    fall back to the packed-tableau engine.
+    """
+
+
+#: The 15 non-identity two-qubit Pauli terms of a two-qubit depolarizing
+#: channel, as (letter on a, letter on b) with "I" meaning no action —
+#: the same k -> (k >> 2, k & 3) decoding as NoiseModel._depolarize_2q.
+_TWO_QUBIT_PAULIS: tuple[tuple[str, str], ...] = tuple(
+    ("IXYZ"[k >> 2], "IXYZ"[k & 3]) for k in range(1, 16)
+)
+
+# Pauli-frame conjugation rules for the native Clifford gate set (signs are
+# irrelevant to detector footprints, so only the x/z bit flow matters).
+_FRAME_PHASE = frozenset({"Z_pi/4", "Z_-pi/4"})  # X -> +/-Y: z ^= x
+_FRAME_SQRT_X = frozenset({"X_pi/4", "X_-pi/4"})  # Z -> +/-Y: x ^= z
+_FRAME_SWAP = frozenset({"Y_pi/4", "Y_-pi/4"})  # X <-> +/-Z: swap x, z
+_FRAME_PAULI = frozenset({"X_pi/2", "Y_pi/2", "Z_pi/2"})  # commute up to phase
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One potential fault location in the compiled instruction stream.
+
+    ``index`` addresses ``circuit.sorted_instructions()``; ``when`` is
+    ``"before"`` (idle-gap dephasing), ``"after"`` (post-operation
+    channels), or ``"record"`` (classical readout flip on ``label``).
+    ``pauli`` lists the injected Pauli as ``(tableau qubit, letter)`` pairs.
+    ``kind`` selects the probability formula of :meth:`probability`;
+    ``duration_us`` drives the dephasing kinds.
+    """
+
+    index: int
+    when: str
+    kind: str  # "gate1" | "gate2" | "prep" | "dephase" | "idle" | "readout"
+    pauli: tuple[tuple[int, str], ...] = ()
+    label: str | None = None
+    duration_us: float = 0.0
+
+    def probability(self, params: NoiseParams) -> float:
+        """This site's firing probability under a parameter set.
+
+        Mirrors :class:`~repro.sim.noise.NoiseModel` exactly: each
+        depolarizing term carries ``p/3`` (``p/15`` for two-qubit), and the
+        dephasing kinds use the duration formula of
+        :meth:`NoiseModel.dephasing_probability`.
+        """
+        if self.kind == "gate1":
+            return params.p1 / 3.0
+        if self.kind == "gate2":
+            return params.p2 / 15.0
+        if self.kind == "prep":
+            return params.p_prep
+        if self.kind == "readout":
+            return params.p_meas
+        if self.kind in ("dephase", "idle"):
+            if params.t2_us is None or self.duration_us <= 0:
+                return 0.0
+            return -0.5 * float(np.expm1(-self.duration_us / params.t2_us))
+        raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+def dem_structure_key(params: NoiseParams) -> tuple[bool, bool, bool, bool, bool]:
+    """Which channels of a parameter set can fire at all.
+
+    Fault-site enumeration and frame propagation depend only on this key —
+    two models with the same key share a :class:`FaultTable` and differ
+    only in the per-site probabilities of :func:`build_dem`.
+    """
+    return (
+        params.p1 > 0,
+        params.p2 > 0,
+        params.p_prep > 0,
+        params.p_meas > 0,
+        params.t2_us is not None,
+    )
+
+
+def enumerate_fault_sites(
+    circuit: HardwareCircuit,
+    initial_occupancy: dict[int, int],
+    params: NoiseParams,
+) -> list[FaultSite]:
+    """Every fault location the noise model can populate, in walk order.
+
+    Replays the occupancy evolution of :class:`~repro.sim.batch.BatchRunner`
+    (Load/Move bookkeeping, idle-gap tracking) without touching any quantum
+    state, appending one :class:`FaultSite` per Pauli term of every channel
+    whose rate is nonzero.
+    """
+    occupancy, ion_index, n_qubits = init_run_state(circuit, initial_occupancy)
+    tracks_idle = params.t2_us is not None
+    busy_until = np.zeros(n_qubits) if tracks_idle else None
+    sites: list[FaultSite] = []
+
+    for idx, inst in enumerate(circuit.sorted_instructions()):
+        qubits = resolve_qubits(inst, occupancy, ion_index)
+
+        if busy_until is not None:
+            for q in qubits:
+                gap = inst.t - busy_until[q]
+                if gap > 0:
+                    sites.append(
+                        FaultSite(idx, "before", "idle", ((q, "Z"),), duration_us=float(gap))
+                    )
+
+        name = inst.name
+        if name == "Load":
+            apply_load(inst, occupancy, ion_index, n_qubits)
+        elif name == "Move":
+            apply_move(inst, occupancy)
+
+        if not qubits:
+            continue
+
+        if name in SINGLE_QUBIT_GATES:
+            if params.p1 > 0:
+                for letter in "XYZ":
+                    sites.append(FaultSite(idx, "after", "gate1", ((qubits[0], letter),)))
+        elif name == "ZZ":
+            if params.p2 > 0:
+                a, b = qubits
+                for la, lb in _TWO_QUBIT_PAULIS:
+                    ops = tuple(
+                        (q, letter) for q, letter in ((a, la), (b, lb)) if letter != "I"
+                    )
+                    sites.append(FaultSite(idx, "after", "gate2", ops))
+        elif name == "Prepare_Z":
+            if params.p_prep > 0:
+                sites.append(FaultSite(idx, "after", "prep", ((qubits[0], "X"),)))
+        elif name == "Measure_Z":
+            if params.p_meas > 0:
+                label = inst.label or f"m?{idx}"
+                sites.append(FaultSite(idx, "record", "readout", (), label=label))
+
+        # Duration-derived dephasing after every timed operation except
+        # preparation (no coherence yet) and measurement (unobservable) —
+        # the exact control flow of NoiseModel.apply_operation_noise.
+        if tracks_idle and name not in ("Prepare_Z", "Measure_Z") and inst.duration > 0:
+            duration = float(inst.duration)
+            for q in qubits:
+                sites.append(
+                    FaultSite(idx, "after", "dephase", ((q, "Z"),), duration_us=duration)
+                )
+
+        if busy_until is not None:
+            for q in qubits:
+                busy_until[q] = inst.t_end
+
+    return sites
+
+
+def _propagate_frames(
+    circuit: HardwareCircuit,
+    initial_occupancy: dict[int, int],
+    sites: list[FaultSite],
+) -> dict[str, np.ndarray]:
+    """Conjugate every fault site through the remaining Clifford schedule.
+
+    One walk over the instruction stream with a bit-packed Pauli frame per
+    site (``(n_qubits, ceil(n_sites/64))`` x/z planes, one bit lane per
+    site): faults are injected at their location, gates transform all lanes
+    at once via the x/z conjugation rules, preparations clear the target
+    qubit's lanes, and measurements record the X plane of the measured
+    qubit — the lanes whose faults flip that outcome label.
+
+    Returns ``label -> (W,) uint64`` flip columns over the site axis.
+    """
+    n_sites = len(sites)
+    words = max(1, -(-n_sites // 64))
+    occupancy, ion_index, n_qubits = init_run_state(circuit, initial_occupancy)
+    x = np.zeros((n_qubits, words), dtype=np.uint64)
+    z = np.zeros((n_qubits, words), dtype=np.uint64)
+    label_flips: dict[str, np.ndarray] = {}
+
+    pending: dict[tuple[int, str], list[tuple[int, FaultSite]]] = {}
+    for s, site in enumerate(sites):
+        pending.setdefault((site.index, site.when), []).append((s, site))
+
+    def inject(s: int, site: FaultSite) -> None:
+        w, sh = divmod(s, 64)
+        bit = np.uint64(1) << np.uint64(sh)
+        for q, letter in site.pauli:
+            if letter in ("X", "Y"):
+                x[q, w] ^= bit
+            if letter in ("Z", "Y"):
+                z[q, w] ^= bit
+
+    for idx, inst in enumerate(circuit.sorted_instructions()):
+        qubits = resolve_qubits(inst, occupancy, ion_index)
+        for s, site in pending.get((idx, "before"), ()):
+            inject(s, site)
+
+        name = inst.name
+        if name == "Load":
+            apply_load(inst, occupancy, ion_index, n_qubits)
+        elif name == "Move":
+            apply_move(inst, occupancy)
+        elif name == "Prepare_Z":
+            q = qubits[0]
+            x[q] = 0
+            z[q] = 0
+        elif name == "Measure_Z":
+            label_flips[inst.label or f"m?{idx}"] = x[qubits[0]].copy()
+        elif name in _FRAME_PHASE:
+            q = qubits[0]
+            z[q] ^= x[q]
+        elif name in _FRAME_SQRT_X:
+            q = qubits[0]
+            x[q] ^= z[q]
+        elif name in _FRAME_SWAP:
+            q = qubits[0]
+            t = x[q].copy()
+            x[q] = z[q]
+            z[q] = t
+        elif name in _FRAME_PAULI:
+            pass
+        elif name == "ZZ":
+            a, b = qubits
+            t = x[a] ^ x[b]
+            z[a] ^= t
+            z[b] ^= t
+        elif name in NON_CLIFFORD_GATES:
+            raise DemExtractionError(
+                f"{name} is non-Clifford: its per-shot quasi-Clifford substitutes "
+                "have no fixed fault footprint, so no detector error model exists"
+            )
+        else:
+            raise DemExtractionError(f"unknown instruction {name!r} in DEM extraction")
+
+        for s, site in pending.get((idx, "after"), ()):
+            inject(s, site)
+        for s, site in pending.get((idx, "record"), ()):
+            w, sh = divmod(s, 64)
+            assert site.label is not None
+            label_flips[site.label][w] ^= np.uint64(1) << np.uint64(sh)
+
+    return label_flips
+
+
+@dataclass
+class FaultTable:
+    """Noise-structure-level extraction result: per-site detector footprints.
+
+    ``footprints[s]`` is the sorted tuple of detector ids fault site
+    ``sites[s]`` fires; ``observables[s]`` a bitmask over observables it
+    flips.  Probability-free: combine with any parameter set of the same
+    :func:`dem_structure_key` via :func:`build_dem`.
+    """
+
+    sites: list[FaultSite]
+    footprints: list[tuple[int, ...]]
+    observables: np.ndarray  # (n_sites,) uint64 bitmask
+    n_detectors: int
+    n_observables: int
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+
+def _xor_columns(
+    label_flips: dict[str, np.ndarray], labels: list[str], words: int
+) -> np.ndarray:
+    col = np.zeros(words, dtype=np.uint64)
+    for lab in labels:
+        try:
+            col ^= label_flips[lab]
+        except KeyError:
+            raise ValueError(f"detector references unknown measurement label {lab!r}") from None
+    return col
+
+
+def extract_fault_table(
+    circuit: HardwareCircuit,
+    initial_occupancy: dict[int, int],
+    params: NoiseParams,
+    detectors: list[list[str]],
+    observables: list[list[str]],
+) -> FaultTable:
+    """Enumerate fault sites and project their flips onto detectors.
+
+    ``detectors[d]`` / ``observables[o]`` are measurement-label sets whose
+    XOR parity is deterministic in the noiseless circuit; detector ids in
+    the resulting table index these lists.
+    """
+    sites = enumerate_fault_sites(circuit, initial_occupancy, params)
+    label_flips = _propagate_frames(circuit, initial_occupancy, sites)
+    n_sites = len(sites)
+    words = max(1, -(-n_sites // 64))
+
+    footprints: list[list[int]] = [[] for _ in range(n_sites)]
+    for d, labels in enumerate(detectors):
+        col = _xor_columns(label_flips, labels, words)
+        for s in np.nonzero(unpack_bits(col, n_sites))[0] if n_sites else ():
+            footprints[s].append(d)
+    obs_mask = np.zeros(n_sites, dtype=np.uint64)
+    for o, labels in enumerate(observables):
+        col = _xor_columns(label_flips, labels, words)
+        if n_sites:
+            obs_mask[np.nonzero(unpack_bits(col, n_sites))[0]] |= np.uint64(1 << o)
+
+    return FaultTable(
+        sites=sites,
+        footprints=[tuple(fp) for fp in footprints],
+        observables=obs_mask,
+        n_detectors=len(detectors),
+        n_observables=len(observables),
+    )
+
+
+@dataclass
+class DetectorErrorModel:
+    """Deduplicated error mechanisms of a noisy Clifford schedule.
+
+    Mechanism ``m`` fires independently with probability ``probs[m]``,
+    flipping the detectors in ``detectors[m]`` (sorted ids) and the
+    observables set in bitmask ``observables[m]``.  ``sources`` (when
+    extraction kept them) lists the concrete fault sites folded into each
+    mechanism — the hook the cross-engine single-fault tests use to inject
+    the same physical fault into the packed-tableau engine.
+    """
+
+    n_detectors: int
+    n_observables: int
+    probs: np.ndarray  # (M,) float64
+    detectors: list[tuple[int, ...]]
+    observables: np.ndarray  # (M,) uint64 bitmask
+    sources: list[tuple[FaultSite, ...]] | None = None
+
+    @property
+    def n_mechanisms(self) -> int:
+        return len(self.detectors)
+
+    def detection_rates(self) -> np.ndarray:
+        """Analytic per-detector marginal firing rates under independence.
+
+        Detector ``d`` fires when an odd number of its mechanisms fire:
+        ``0.5 * (1 - prod_m (1 - 2 p_m))`` over the mechanisms touching it.
+        """
+        prod = np.ones(self.n_detectors)
+        for p, dets in zip(self.probs, self.detectors):
+            for d in dets:
+                prod[d] *= 1.0 - 2.0 * p
+        return 0.5 * (1.0 - prod)
+
+    def observable_rates(self) -> np.ndarray:
+        """Analytic marginal flip rate per observable (raw, undecoded)."""
+        prod = np.ones(self.n_observables)
+        for p, mask in zip(self.probs, self.observables):
+            for o in range(self.n_observables):
+                if int(mask) >> o & 1:
+                    prod[o] *= 1.0 - 2.0 * p
+        return 0.5 * (1.0 - prod)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump (the ``tiscc dem --json`` artifact)."""
+        return {
+            "n_detectors": self.n_detectors,
+            "n_observables": self.n_observables,
+            "n_mechanisms": self.n_mechanisms,
+            "mechanisms": [
+                {
+                    "probability": float(p),
+                    "detectors": list(dets),
+                    "observables": int(mask),
+                }
+                for p, dets, mask in zip(self.probs, self.detectors, self.observables)
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DetectorErrorModel {self.n_mechanisms} mechanisms over "
+            f"{self.n_detectors} detectors / {self.n_observables} observables>"
+        )
+
+
+def build_dem(
+    table: FaultTable, params: NoiseParams, keep_sources: bool = False
+) -> DetectorErrorModel:
+    """Fold a fault table and a parameter set into a deduplicated DEM.
+
+    Sites with zero probability or no effect (empty footprint, no
+    observable flip) are dropped; sites with identical (footprint,
+    observable) signatures are XOR-combined
+    (``p <- p_a (1 - p_b) + p_b (1 - p_a)``), which is exact for
+    independent mechanisms.  Mechanisms come back sorted by footprint, so
+    extraction is deterministic for a fixed circuit + noise pair.
+    """
+    groups: dict[tuple[tuple[int, ...], int], list] = {}
+    for s, (site, footprint) in enumerate(zip(table.sites, table.footprints)):
+        p = site.probability(params)
+        if p <= 0.0:
+            continue
+        obs = int(table.observables[s])
+        if not footprint and not obs:
+            continue  # invisible fault: flips nothing deterministic
+        entry = groups.get((footprint, obs))
+        if entry is None:
+            groups[(footprint, obs)] = [p, [site]]
+        else:
+            entry[0] = entry[0] * (1.0 - p) + p * (1.0 - entry[0])
+            entry[1].append(site)
+
+    keys = sorted(groups)
+    probs = np.array([groups[k][0] for k in keys], dtype=np.float64)
+    return DetectorErrorModel(
+        n_detectors=table.n_detectors,
+        n_observables=table.n_observables,
+        probs=probs,
+        detectors=[k[0] for k in keys],
+        observables=np.array([k[1] for k in keys], dtype=np.uint64),
+        sources=[tuple(groups[k][1]) for k in keys] if keep_sources else None,
+    )
+
+
+def extract_dem(
+    circuit: HardwareCircuit,
+    initial_occupancy: dict[int, int],
+    noise: NoiseModel,
+    detectors: list[list[str]],
+    observables: list[list[str]],
+    keep_sources: bool = False,
+) -> DetectorErrorModel:
+    """One-shot convenience: fault table + DEM for a single noise model.
+
+    Callers sweeping rates should instead cache the
+    :func:`extract_fault_table` result per :func:`dem_structure_key` and
+    call :func:`build_dem` per parameter set (what
+    :meth:`~repro.decode.memory.MemoryExperiment.detector_error_model`
+    does).
+    """
+    table = extract_fault_table(
+        circuit, initial_occupancy, noise.params, detectors, observables
+    )
+    return build_dem(table, noise.params, keep_sources=keep_sources)

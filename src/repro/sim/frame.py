@@ -1,0 +1,129 @@
+"""Vectorized Pauli-frame sampling over a detector error model.
+
+The fast half of the Stim-style sampling path: once
+:mod:`repro.sim.dem` has folded a compiled circuit + noise model into a
+:class:`~repro.sim.dem.DetectorErrorModel`, sampling needs *no quantum
+state at all* — each shot independently fires each mechanism with its
+probability, and detection events / observable flips are XOR parities of
+the fired mechanisms' footprints.  :class:`FrameSampler` draws whole
+batches at once: per-shot Bernoulli vectors are bit-packed along the shot
+axis and each detector's column is one ``bitwise_xor.reduce`` over the
+mechanisms that touch it.
+
+Seed plumbing (shared contract with :class:`~repro.sim.batch.BatchRunner`):
+shot ``k`` of a run with ``seed`` consumes its own generator derived via
+``np.random.SeedSequence(seed, spawn_key=(shot_offset + k,))`` — the
+spawn-key form of ``SeedSequence(seed).spawn(n)[k]`` (see
+:func:`repro.sim.batch.per_shot_seed`).  Because the stream depends only on
+the *absolute* shot index, sampling 10 000 shots in one call or in any
+chunking of calls with matching ``shot_offset`` yields bit-identical
+results — the property ``tests/test_frame_sampler.py`` locks down and
+:func:`~repro.estimator.sweep.logical_error_sweep` relies on for
+``max_batch`` chunking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.batch import per_shot_seed
+from repro.sim.dem import DetectorErrorModel
+
+__all__ = ["FrameSampler", "FrameSamples"]
+
+
+@dataclass
+class FrameSamples:
+    """One batch of frame-sampled outcomes.
+
+    ``detectors`` is the ``(n_shots, n_detectors)`` 0/1 detection-event
+    matrix (the layout :meth:`MemoryExperiment.syndromes` produces and the
+    union-find decoder consumes); ``observables`` the ``(n_shots,
+    n_observables)`` logical-flip matrix.
+    """
+
+    detectors: np.ndarray
+    observables: np.ndarray
+
+    @property
+    def n_shots(self) -> int:
+        return self.detectors.shape[0]
+
+
+class FrameSampler:
+    """Samples detection events and observable flips from a DEM.
+
+    Construction precomputes, for every detector and observable, the index
+    array of mechanisms touching it; :meth:`sample` then costs one uniform
+    vector per shot plus bit-packed XOR reductions — no tableau, no gate
+    dispatch, no per-instruction work.
+    """
+
+    def __init__(self, dem: DetectorErrorModel):
+        self.dem = dem
+        det_mechs: list[list[int]] = [[] for _ in range(dem.n_detectors)]
+        obs_mechs: list[list[int]] = [[] for _ in range(dem.n_observables)]
+        for m, dets in enumerate(dem.detectors):
+            for d in dets:
+                det_mechs[d].append(m)
+            mask = int(dem.observables[m])
+            for o in range(dem.n_observables):
+                if mask >> o & 1:
+                    obs_mechs[o].append(m)
+        self._det_mechs = [np.asarray(ms, dtype=np.intp) for ms in det_mechs]
+        self._obs_mechs = [np.asarray(ms, dtype=np.intp) for ms in obs_mechs]
+
+    def sample(
+        self,
+        n_shots: int,
+        seed: int | None = 0,
+        shot_offset: int = 0,
+        chunk: int = 2048,
+    ) -> FrameSamples:
+        """Draw ``n_shots`` shots of detection events and observable flips.
+
+        Shot ``k`` uses the per-shot stream of absolute index
+        ``shot_offset + k`` (see module docstring), so results are
+        independent of how a run is split across calls.  ``seed=None``
+        draws fresh OS entropy per shot (non-reproducible).  ``chunk``
+        bounds the transient ``(chunk, n_mechanisms)`` Bernoulli matrix.
+        """
+        if n_shots < 1:
+            raise ValueError("need at least one shot")
+        if chunk < 1:
+            raise ValueError("chunk must be positive")
+        dem = self.dem
+        dets = np.zeros((n_shots, dem.n_detectors), dtype=np.uint8)
+        obs = np.zeros((n_shots, dem.n_observables), dtype=np.uint8)
+        if dem.n_mechanisms == 0:
+            return FrameSamples(detectors=dets, observables=obs)
+
+        probs = dem.probs
+        m = dem.n_mechanisms
+        for base in range(0, n_shots, chunk):
+            size = min(chunk, n_shots - base)
+            fired = np.empty((size, m), dtype=bool)
+            for k in range(size):
+                rng = np.random.default_rng(per_shot_seed(seed, shot_offset + base + k))
+                fired[k] = rng.random(m) < probs
+            # Bit-pack the shot axis: mechanism columns become uint8 words,
+            # and every detector is one XOR reduction over its mechanisms.
+            packed = np.packbits(fired, axis=0, bitorder="little")
+            for d, mechs in enumerate(self._det_mechs):
+                if mechs.size:
+                    col = np.bitwise_xor.reduce(packed[:, mechs], axis=1)
+                    dets[base : base + size, d] = np.unpackbits(
+                        col, count=size, bitorder="little"
+                    )
+            for o, mechs in enumerate(self._obs_mechs):
+                if mechs.size:
+                    col = np.bitwise_xor.reduce(packed[:, mechs], axis=1)
+                    obs[base : base + size, o] = np.unpackbits(
+                        col, count=size, bitorder="little"
+                    )
+        return FrameSamples(detectors=dets, observables=obs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FrameSampler over {self.dem!r}>"

@@ -136,9 +136,19 @@ class RunResult:
 
 
 class CircuitInterpreter:
-    """Executes hardware circuits against a stabilizer tableau."""
+    """Executes hardware circuits against a stabilizer tableau.
 
-    def __init__(self, grid: GridManager, seed: int | None = None):
+    ``seed`` is anything :func:`numpy.random.default_rng` accepts — an int,
+    ``None``, or a ``SeedSequence``.  To reproduce shot ``k`` of a batched
+    :class:`~repro.sim.batch.BatchRunner` run, seed with
+    :func:`repro.sim.batch.per_shot_seed(seed, k) <repro.sim.batch.per_shot_seed>`.
+    """
+
+    def __init__(
+        self,
+        grid: GridManager,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+    ):
         self.grid = grid
         self.rng = np.random.default_rng(seed)
         self.sampler = QuasiCliffordSampler()

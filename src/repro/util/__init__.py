@@ -1,5 +1,13 @@
-"""Shared low-level utilities: GF(2) linear algebra and grid geometry."""
+"""Shared low-level utilities: GF(2) linear algebra, grid geometry, and
+the statistics helpers behind the cross-engine equivalence checks."""
 
+from repro.util.stats import (
+    chi2_sf,
+    detector_marginal_chi2,
+    intervals_overlap,
+    two_proportion_chi2,
+    wilson_interval,
+)
 from repro.util.gf2 import (
     gf2_rank,
     gf2_rref,
@@ -18,4 +26,9 @@ __all__ = [
     "gf2_row_reduce_tracked",
     "gf2_in_rowspace",
     "gf2_decompose",
+    "wilson_interval",
+    "intervals_overlap",
+    "chi2_sf",
+    "two_proportion_chi2",
+    "detector_marginal_chi2",
 ]

@@ -1,0 +1,112 @@
+"""Dependency-free statistics for cross-engine equivalence checks.
+
+The frame-sampling path is only trustworthy if its samples are
+statistically indistinguishable from the packed-tableau engine's, so the
+test suite and benchmarks need two standard tools without pulling in
+scipy: Wilson score intervals for logical-error-rate agreement, and a
+chi-square homogeneity test over per-detector firing marginals (one 2x2
+table per detector, statistics summed, survival function via the
+Wilson-Hilferty cube-root normal approximation — accurate to ~1e-3 in the
+tail for the degrees of freedom used here, which is far tighter than the
+test thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "wilson_interval",
+    "intervals_overlap",
+    "chi2_sf",
+    "two_proportion_chi2",
+    "detector_marginal_chi2",
+]
+
+
+def wilson_interval(successes: int, n: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Well-behaved at 0 and 1 (never collapses to a point at the boundary),
+    which is what makes it the right interval for comparing small logical
+    error rates between engines.
+    """
+    if n < 1:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes {successes} outside [0, {n}]")
+    p = successes / n
+    denom = 1.0 + z * z / n
+    center = (p + z * z / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def intervals_overlap(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Do two (lo, hi) intervals intersect?"""
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def chi2_sf(stat: float, dof: int) -> float:
+    """Chi-square survival function P(X >= stat) via Wilson-Hilferty.
+
+    ``(X/k)^(1/3)`` is approximately normal with mean ``1 - 2/(9k)`` and
+    variance ``2/(9k)``; the tail probability follows from ``erfc``.
+    """
+    if dof < 1:
+        raise ValueError("need at least one degree of freedom")
+    if stat <= 0:
+        return 1.0
+    mean = 1.0 - 2.0 / (9.0 * dof)
+    sd = math.sqrt(2.0 / (9.0 * dof))
+    zscore = ((stat / dof) ** (1.0 / 3.0) - mean) / sd
+    return 0.5 * math.erfc(zscore / math.sqrt(2.0))
+
+
+def two_proportion_chi2(k_a: int, n_a: int, k_b: int, n_b: int) -> float:
+    """Pearson chi-square statistic (1 dof) of a 2x2 homogeneity table.
+
+    Tests whether two Bernoulli samples (``k`` successes of ``n``) share a
+    rate.  Returns 0 when the pooled rate is degenerate (0 or 1).
+    """
+    n = n_a + n_b
+    k = k_a + k_b
+    if n == 0 or k == 0 or k == n:
+        return 0.0
+    p = k / n
+    stat = 0.0
+    for ki, ni in ((k_a, n_a), (k_b, n_b)):
+        e1 = ni * p
+        e0 = ni * (1 - p)
+        stat += (ki - e1) ** 2 / e1 + ((ni - ki) - e0) ** 2 / e0
+    return stat
+
+
+def detector_marginal_chi2(
+    counts_a: np.ndarray, n_a: int, counts_b: np.ndarray, n_b: int
+) -> tuple[float, int, float]:
+    """Summed per-detector chi-square between two engines' marginals.
+
+    ``counts_x[d]`` is how many of ``n_x`` shots fired detector ``d``.
+    Detectors whose pooled count is degenerate (never fired, or always
+    fired, in both samples) carry no information and are excluded from the
+    degrees of freedom.  Returns ``(statistic, dof, p_value)``; a tiny
+    p-value means the two samples are distinguishable.
+    """
+    counts_a = np.asarray(counts_a, dtype=np.int64)
+    counts_b = np.asarray(counts_b, dtype=np.int64)
+    if counts_a.shape != counts_b.shape:
+        raise ValueError("detector count vectors must have matching shape")
+    stat = 0.0
+    dof = 0
+    for k_a, k_b in zip(counts_a.tolist(), counts_b.tolist()):
+        k = k_a + k_b
+        if k == 0 or k == n_a + n_b:
+            continue
+        stat += two_proportion_chi2(k_a, n_a, k_b, n_b)
+        dof += 1
+    if dof == 0:
+        return (0.0, 0, 1.0)
+    return (stat, dof, chi2_sf(stat, dof))

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.code.pauli import PauliString
 from repro.core.compiler import TISCC
+from repro.sim.batch import per_shot_seed
 
 READOUT_API = ("sign", "expectation", "expectation_over_ions", "qubit_of_site")
 
@@ -48,7 +49,7 @@ def test_single_shot_and_batch_results_agree():
     assert np.array_equal(batch_site, batch_ion)
 
     for k in range(batch.n_shots):
-        single = compiler.simulate(compiled, seed=5 + k)
+        single = compiler.simulate(compiled, seed=per_shot_seed(5, k))
         shot = batch.shot(k)
         for result in (single, shot):
             assert result.expectation(site_op) == batch_site[k]

@@ -18,7 +18,7 @@ from repro.estimator.report import (
     outcome_statistics,
 )
 from repro.estimator.sweep import OPERATION_PROGRAMS
-from repro.sim.batch import BatchRunner
+from repro.sim.batch import BatchRunner, per_shot_seed
 from repro.sim.interpreter import CircuitInterpreter
 
 # Table 1 / Table 2 programs exercised shot-for-shot (name -> (program, shape)).
@@ -43,7 +43,9 @@ def compile_program(name, d=2, rounds=1):
 def assert_batch_matches_singles(compiler, compiled, n_shots, seed):
     batch = compiler.simulate_shots(compiled, n_shots, seed=seed)
     for k in range(n_shots):
-        single = CircuitInterpreter(compiler.grid, seed=seed + k).run(
+        # Shot k's stream is the absolute-index SeedSequence child —
+        # SeedSequence(seed).spawn(n)[k] addressed as spawn_key=(k,).
+        single = CircuitInterpreter(compiler.grid, seed=per_shot_seed(seed, k)).run(
             compiled.circuit, compiled.initial_occupancy
         )
         assert set(batch.outcomes) == set(single.outcomes)
@@ -69,10 +71,10 @@ class TestShotForShot:
     def test_shot_view_materializes_run_result(self):
         compiler, compiled = compile_program("Idle")
         batch = compiler.simulate_shots(compiled, 4, seed=77)
-        single = CircuitInterpreter(compiler.grid, seed=78).run(
+        single = CircuitInterpreter(compiler.grid, seed=per_shot_seed(77, 1)).run(
             compiled.circuit, compiled.initial_occupancy
         )
-        view = batch.shot(1)  # seed 77 + 1
+        view = batch.shot(1)  # per-shot stream of absolute index 1
         assert view.outcomes == single.outcomes
         assert view.deterministic == single.deterministic
         assert view.weight == pytest.approx(single.weight)
@@ -89,7 +91,7 @@ class TestShotForShot:
         values = np.asarray(joint.value(batch))
         assert values.shape == (6,)
         for k in range(6):
-            single = CircuitInterpreter(compiler.grid, seed=3 + k).run(
+            single = CircuitInterpreter(compiler.grid, seed=per_shot_seed(3, k)).run(
                 compiled.circuit, compiled.initial_occupancy
             )
             assert values[k] == joint.value(single)
@@ -103,6 +105,35 @@ class TestBatchSemantics:
         for label in a.outcomes:
             assert np.array_equal(a.outcomes[label], b.outcomes[label])
         assert np.array_equal(a.weights, b.weights)
+
+    def test_shot_offset_chunks_reproduce_unchunked(self):
+        # Absolute-index per-shot streams: splitting a run into chunks with
+        # matching shot_offset is bit-identical to the unsplit run.
+        compiler, compiled = compile_program("MeasureZZ")
+        full = compiler.simulate_shots(compiled, 7, seed=13)
+        parts = [
+            compiler.simulate_shots(compiled, n, seed=13, shot_offset=off)
+            for off, n in ((0, 3), (3, 4))
+        ]
+        for label in full.outcomes:
+            merged = np.concatenate([p.outcomes[label] for p in parts])
+            assert np.array_equal(full.outcomes[label], merged)
+        assert np.array_equal(full.weights, np.concatenate([p.weights for p in parts]))
+
+    def test_injection_bounds_are_validated(self):
+        from repro.sim.batch import PauliInjection
+
+        compiler, compiled = compile_program("Idle")
+        n = len(compiled.circuit.sorted_instructions())
+        for bad in (
+            PauliInjection(index=n, ops=((0, "X"),)),
+            PauliInjection(index=0, ops=((0, "X"),), shot=-1),
+            PauliInjection(index=0, ops=((0, "X"),), shot=4),
+        ):
+            with pytest.raises(ValueError, match="injection"):
+                compiler.simulate_shots(compiled, 4, seed=0, injections=[bad])
+        with pytest.raises(ValueError, match="before/after"):
+            PauliInjection(index=0, when="during", ops=((0, "X"),))
 
     def test_forced_outcomes_pin_labels(self):
         compiler, compiled = compile_program("MeasureZZ")

@@ -1,0 +1,118 @@
+"""CLI behaviour: input validation messages and happy-path smoke runs.
+
+Validation failures must come back as one-line messages with exit code 2 —
+never tracebacks — because the paper positions the executable as the
+primary interface (App. B).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cmd", ["lfr", "dem"])
+    def test_even_distance_rejected(self, capsys, cmd):
+        args = ["--distances", "4"] if cmd == "lfr" else ["--distance", "4"]
+        code, out = run_cli(capsys, cmd, *args)
+        assert code == 2
+        assert "odd" in out and "4" in out
+        assert "Traceback" not in out
+
+    @pytest.mark.parametrize("cmd", ["lfr", "dem"])
+    def test_too_small_distance_rejected(self, capsys, cmd):
+        args = ["--distances", "1"] if cmd == "lfr" else ["--distance", "1"]
+        code, out = run_cli(capsys, cmd, *args)
+        assert code == 2
+        assert "at least 3" in out
+
+    def test_negative_rate_rejected_lfr(self, capsys):
+        code, out = run_cli(capsys, "lfr", "--distances", "3", "--rates", "-0.001")
+        assert code == 2
+        assert "non-negative" in out and "-0.001" in out
+
+    def test_rate_above_one_rejected_lfr(self, capsys):
+        code, out = run_cli(capsys, "lfr", "--distances", "3", "--rates", "1.5")
+        assert code == 2
+        assert "[0, 1]" in out
+
+    def test_negative_rate_rejected_dem(self, capsys):
+        code, out = run_cli(capsys, "dem", "--distance", "3", "--rate", "-0.5")
+        assert code == 2
+        assert "non-negative" in out
+        assert "--rate " in out  # names dem's actual flag, not lfr's --rates
+
+    def test_negative_scale_rejected_lfr(self, capsys):
+        code, out = run_cli(
+            capsys, "lfr", "--distances", "3", "--noise", "near_term", "--scales", "-1"
+        )
+        assert code == 2
+        assert "scales" in out
+
+    def test_bad_rounds_rejected_dem(self, capsys):
+        code, out = run_cli(capsys, "dem", "--distance", "3", "--rounds", "0")
+        assert code == 2
+        assert "rounds" in out
+
+    @pytest.mark.parametrize("cmd", ["lfr", "dem"])
+    def test_unknown_preset_is_one_line_error(self, capsys, cmd):
+        args = (
+            ["lfr", "--distances", "3", "--noise", "nope", "--shots", "10"]
+            if cmd == "lfr"
+            else ["dem", "--distance", "3", "--noise", "nope"]
+        )
+        code, out = run_cli(capsys, *args)
+        assert code == 2
+        assert "unknown noise preset" in out
+        assert "Traceback" not in out
+
+
+class TestHappyPaths:
+    def test_dem_summary(self, capsys):
+        code, out = run_cli(
+            capsys, "dem", "--distance", "3", "--rounds", "2", "--rate", "1e-3"
+        )
+        assert code == 0
+        assert "detector error model" in out
+        assert "mechanisms:" in out
+        assert "sites by kind:" in out
+
+    def test_dem_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "dem.json"
+        code, out = run_cli(
+            capsys,
+            "dem", "--distance", "3", "--rounds", "1", "--rate", "2e-3",
+            "--json", str(path),
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["n_mechanisms"] == len(payload["mechanisms"])
+        assert all(0 < m["probability"] < 1 for m in payload["mechanisms"])
+
+    def test_lfr_frame_engine_smoke(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lfr", "--distances", "3", "--rates", "1e-3",
+            "--shots", "100", "--rounds", "2",
+        )
+        assert code == 0
+        assert "frame engine" in out
+        assert "decoded logical error rates" in out
+
+    def test_lfr_tableau_engine_smoke(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lfr", "--distances", "3", "--rates", "1e-3",
+            "--shots", "50", "--rounds", "1", "--engine", "tableau",
+        )
+        assert code == 0
+        assert "tableau engine" in out

@@ -1,0 +1,180 @@
+"""FrameSampler: reproducibility, chunk invariance, and statistical parity.
+
+Two layers of lock-down for the fast sampling path:
+
+* Seed plumbing — per-shot ``SeedSequence.spawn`` streams make sampling
+  bit-reproducible and invariant under batch chunking, for the sampler
+  itself, for ``MemoryExperiment.run(engine="frame", max_batch=...)``, and
+  for ``logical_error_sweep`` (the regression the satellite task names).
+* Distribution — frame samples must be statistically indistinguishable
+  from the packed-tableau engine: summed per-detector chi-square on firing
+  marginals, agreement with the DEM's analytic marginals, and decoded /
+  raw logical error rates within overlapping Wilson intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decode.memory import MemoryExperiment
+from repro.estimator.sweep import logical_error_sweep
+from repro.sim.frame import FrameSampler
+from repro.sim.noise import NoiseModel
+from repro.util.stats import (
+    detector_marginal_chi2,
+    intervals_overlap,
+    wilson_interval,
+)
+
+
+@pytest.fixture(scope="module")
+def exp3():
+    return MemoryExperiment(distance=3)
+
+
+class TestSeedPlumbing:
+    def test_same_seed_reproduces(self, exp3):
+        model = NoiseModel.uniform(3e-3)
+        a = exp3.sample_frame(64, noise=model, seed=5)
+        b = exp3.sample_frame(64, noise=model, seed=5)
+        assert np.array_equal(a.detectors, b.detectors)
+        assert np.array_equal(a.observables, b.observables)
+        c = exp3.sample_frame(64, noise=model, seed=6)
+        assert not np.array_equal(a.detectors, c.detectors)
+
+    def test_chunking_is_invisible(self, exp3):
+        """Any split into (offset, size) chunks equals the one-shot batch."""
+        model = NoiseModel.uniform(5e-3)
+        sampler = FrameSampler(exp3.detector_error_model(model))
+        full = sampler.sample(100, seed=11)
+        for splits in ([(0, 37), (37, 63)], [(0, 1), (1, 50), (51, 49)]):
+            parts = [sampler.sample(n, seed=11, shot_offset=off) for off, n in splits]
+            dets = np.concatenate([p.detectors for p in parts], axis=0)
+            obs = np.concatenate([p.observables for p in parts], axis=0)
+            assert np.array_equal(full.detectors, dets)
+            assert np.array_equal(full.observables, obs)
+        # The internal Bernoulli chunk size must be invisible too.
+        small = sampler.sample(100, seed=11, chunk=7)
+        assert np.array_equal(full.detectors, small.detectors)
+
+    def test_run_results_independent_of_max_batch(self, exp3):
+        model = NoiseModel.uniform(4e-3)
+        baseline = exp3.run(500, noise=model, seed=9, engine="frame")
+        for max_batch in (100, 177, 500, 1000):
+            rep = exp3.run(500, noise=model, seed=9, engine="frame", max_batch=max_batch)
+            assert rep.failures == baseline.failures
+            assert rep.raw_failures == baseline.raw_failures
+            assert rep.mean_defects == pytest.approx(baseline.mean_defects)
+
+    def test_noise_seed_varies_frame_realizations(self, exp3):
+        """On the frame path noise_seed selects the streams (seed is fallback).
+
+        All frame randomness is noise randomness, so fixing noise_seed
+        pins the realization (like the tableau path's dedicated noise
+        stream) and varying it must vary the draws.
+        """
+        model = NoiseModel.uniform(3e-3)
+        a = exp3.run(300, noise=model, seed=0, noise_seed=1, engine="frame")
+        b = exp3.run(300, noise=model, seed=99, noise_seed=1, engine="frame")
+        c = exp3.run(300, noise=model, seed=0, noise_seed=2, engine="frame")
+        assert (a.failures, a.raw_failures) == (b.failures, b.raw_failures)
+        assert a.mean_defects != c.mean_defects or a.raw_failures != c.raw_failures
+
+    def test_sweep_reproducible_regardless_of_chunking(self):
+        """The satellite regression: fixed seed -> identical sweep, any chunking."""
+        kwargs = dict(rates=[2e-3], shots=400, rounds=2, seed=21, engine="frame")
+        baseline = logical_error_sweep([3], **kwargs)
+        for max_batch in (64, 150, 400):
+            swept = logical_error_sweep([3], max_batch=max_batch, **kwargs)
+            assert [r.failures for r in swept] == [r.failures for r in baseline]
+            assert [r.raw_failures for r in swept] == [r.raw_failures for r in baseline]
+
+
+class TestEngineBehaviour:
+    def test_frame_engine_reports_itself(self, exp3):
+        rep = exp3.run(50, noise=NoiseModel.uniform(1e-3), seed=0, engine="frame")
+        assert rep.engine == "frame"
+        assert rep.to_dict()["engine"] == "frame"
+        rep = exp3.run(50, noise=NoiseModel.uniform(1e-3), seed=0)
+        assert rep.engine == "tableau"
+
+    def test_unknown_engine_rejected(self, exp3):
+        with pytest.raises(ValueError, match="engine"):
+            exp3.run(10, engine="statevector")
+
+    def test_non_clifford_falls_back_to_tableau(self):
+        """engine='frame' on a T-injection schedule silently uses the tableau."""
+        from repro.core.compiler import TISCC
+        from repro.decode.memory import MemoryExperiment as ME
+
+        exp = ME(distance=3, rounds=1)
+        # Splice a non-Clifford instruction into the compiled stream so DEM
+        # extraction fails while the quasi-Clifford tableau path still runs.
+        site = exp.compiled.circuit.sorted_instructions()[0].sites[0]
+        exp.compiled.circuit.append("Z_pi/8", (site,), t=0.05, duration=0.1)
+        assert isinstance(exp.compiler, TISCC)
+        rep = exp.run(20, noise=NoiseModel.uniform(1e-3), seed=1, engine="frame")
+        assert rep.engine == "tableau"
+        assert rep.n_shots == 20
+
+    def test_frame_and_tableau_agree_at_zero_noise(self, exp3):
+        for noise in (None, NoiseModel.preset("ideal")):
+            rep = exp3.run(30, noise=noise, seed=2, engine="frame")
+            assert rep.engine == "frame"
+            assert rep.failures == 0 and rep.raw_failures == 0
+            assert rep.mean_defects == 0.0
+
+
+def assert_engines_indistinguishable(distance, model, shots, seed):
+    """Chi-square detector marginals + Wilson-interval LER/raw agreement."""
+    exp = MemoryExperiment(distance=distance)
+    batch = exp.sample(shots, noise=model, seed=seed)
+    syn_t = exp.syndromes(batch)
+    raw_t = exp.measured_flips(batch)
+    frames = exp.sample_frame(shots, noise=model, seed=seed + 1)
+
+    stat, dof, p_value = detector_marginal_chi2(
+        syn_t.sum(axis=0), shots, frames.detectors.sum(axis=0), shots
+    )
+    assert dof > 0
+    assert p_value > 1e-4, (
+        f"detector marginals distinguishable: chi2={stat:.1f}/{dof} (p={p_value:.2g})"
+    )
+
+    # Frame marginals must also track the DEM's analytic rates.
+    analytic = exp.detector_error_model(model).detection_rates()
+    observed = frames.detectors.mean(axis=0)
+    sigma = np.sqrt(np.maximum(analytic * (1 - analytic), 1e-12) / shots)
+    assert np.all(np.abs(observed - analytic) < 6 * sigma + 1e-9)
+
+    raw_f = frames.observables[:, 0]
+    assert intervals_overlap(
+        wilson_interval(int(raw_t.sum()), shots, z=3.0),
+        wilson_interval(int(raw_f.sum()), shots, z=3.0),
+    ), "raw logical flip rates disagree"
+
+    fail_t = int((raw_t ^ exp.decoder.decode_batch(syn_t)).sum())
+    fail_f = int((raw_f ^ exp.decoder.decode_batch(frames.detectors)).sum())
+    assert intervals_overlap(
+        wilson_interval(fail_t, shots, z=3.0), wilson_interval(fail_f, shots, z=3.0)
+    ), f"decoded LERs disagree: {fail_t}/{shots} vs {fail_f}/{shots}"
+
+
+class TestStatisticalEquivalence:
+    @pytest.mark.parametrize(
+        "model",
+        [NoiseModel.uniform(2e-3), NoiseModel.preset("near_term")],
+        ids=["uniform", "near_term"],
+    )
+    def test_engines_agree_d3(self, model):
+        assert_engines_indistinguishable(3, model, shots=4000, seed=17)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "model",
+        [NoiseModel.uniform(2e-3), NoiseModel.preset("near_term")],
+        ids=["uniform", "near_term"],
+    )
+    def test_engines_agree_d5(self, model):
+        assert_engines_indistinguishable(5, model, shots=4000, seed=29)

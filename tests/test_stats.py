@@ -1,0 +1,66 @@
+"""Sanity checks for the equivalence-test statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    chi2_sf,
+    detector_marginal_chi2,
+    intervals_overlap,
+    two_proportion_chi2,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_brackets_the_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_zero_successes_interval_is_not_degenerate(self):
+        lo, hi = wilson_interval(0, 1000)
+        assert lo == 0.0 and 0.0 < hi < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_overlap(self):
+        assert intervals_overlap((0.1, 0.3), (0.25, 0.5))
+        assert not intervals_overlap((0.1, 0.2), (0.21, 0.5))
+
+
+class TestChiSquare:
+    def test_sf_known_values(self):
+        # Wilson-Hilferty vs textbook chi-square quantiles.
+        assert chi2_sf(3.841, 1) == pytest.approx(0.05, abs=0.01)
+        assert chi2_sf(18.307, 10) == pytest.approx(0.05, abs=0.005)
+        assert chi2_sf(0.0, 5) == 1.0
+        assert chi2_sf(200.0, 5) < 1e-10
+
+    def test_identical_samples_score_zero(self):
+        assert two_proportion_chi2(10, 100, 10, 100) == pytest.approx(0.0, abs=1e-12)
+        counts = np.array([3, 7, 0, 12])
+        stat, dof, p = detector_marginal_chi2(counts, 100, counts, 100)
+        assert stat == pytest.approx(0.0, abs=1e-12)
+        # Wilson-Hilferty is loose in the far left tail; we only ever test
+        # the rejection (right) tail, so "indistinguishable" means p ~ 1.
+        assert p > 0.99
+        assert dof == 3  # the never-firing detector carries no information
+
+    def test_disjoint_samples_score_high(self):
+        stat, dof, p = detector_marginal_chi2(
+            np.array([50, 60]), 100, np.array([5, 6]), 100
+        )
+        assert dof == 2
+        assert stat > 50
+        assert p < 1e-6
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            detector_marginal_chi2(np.array([1, 2]), 10, np.array([1]), 10)
