@@ -12,9 +12,12 @@ DEM (a one-time sub-second extraction) and every (rate, shots) point is
 then sampled without any tableau at all — hundreds of times faster than
 the packed-tableau replay, and statistically indistinguishable from it
 (cross-engine chi-square and Wilson-interval tests in
-``tests/test_frame_sampler.py``).  Sampling the whole d=3/5/7 sweep below
-is sub-second on the frame path — wall time is now dominated by the
-union-find decoder; add ``engine="tableau"`` to feel the difference.
+``tests/test_frame_sampler.py``).  Decoding rides the same DEM: the
+default ``union_find`` decoder grows clusters over the DEM-built matching
+graph, whose edges carry log-likelihood weights from the mechanism rates.
+The second sweep below re-decodes the same noise point with
+``union_find_unweighted`` (unit weights, the PR 2 behaviour) — the
+decoder column of the table shows what the weights alone buy.
 
 Because noise is injected per compiled *native* instruction (hundreds per
 QEC round: every ZZ entangler, rotation, transport, and readout), the
@@ -66,6 +69,39 @@ def main() -> None:
             f"{lers[DISTANCES[-1]]:.4f} as d goes {DISTANCES[0]} -> "
             f"{DISTANCES[-1]}  => logical error rate {trend} with distance"
         )
+
+    # Decoder comparison at fixed noise: weighted vs unweighted union-find
+    # on the same sampled syndromes (same seed, same engine) — the decoder
+    # column tells the rows apart.
+    compare_rate = 1e-3
+    print(
+        f"\ndecoder comparison at fixed noise uniform(p={compare_rate:g}), "
+        f"{SHOTS} shots per point:"
+    )
+    comparison = []
+    for decoder in ("union_find", "union_find_unweighted"):
+        comparison += logical_error_sweep(
+            DISTANCES,
+            rates=[compare_rate],
+            shots=SHOTS,
+            basis="Z",
+            seed=7,
+            engine="frame",
+            decoder=decoder,
+        )
+    print(format_logical_error_table(comparison))
+    by_d: dict[int, dict[str, float]] = {}
+    for rep in comparison:
+        by_d.setdefault(rep.dx, {})[rep.decoder] = rep.logical_error_rate
+    for d, lers in sorted(by_d.items()):
+        w, u = lers["union_find"], lers["union_find_unweighted"]
+        if w == u:
+            gain = "matches unweighted"
+        elif w < u:
+            gain = f"cuts LER {u / w:.1f}x" if w else "removes every logical error"
+        else:
+            gain = f"raises LER {w / u:.1f}x on this sample" if u else "raises LER"
+        print(f"d = {d}: weighted {w:.4f} vs unweighted {u:.4f}  => weighting {gain}")
 
 
 if __name__ == "__main__":

@@ -31,9 +31,12 @@ Noise & decoding::
 per-operation Pauli channel probabilities from a few physical parameters
 and the :data:`~repro.hardware.model.GATE_TIMES_US` durations (longer
 operations dephase more); ``MemoryExperiment`` decodes every shot with a
-union-find decoder over the compiled schedule's detector graph.  The
-``tiscc lfr`` CLI subcommand and ``examples/threshold_sweep.py`` sweep
-distances and physical rates through the same pipeline.
+registered decoder (``get_decoder("union_find" | "union_find_unweighted"
+| "lookup")``) — by default the weighted union-find over the DEM-built
+matching graph, whose edges carry log-likelihood weights from the noise
+model's mechanism rates.  The ``tiscc lfr --decoder`` CLI subcommand and
+``examples/threshold_sweep.py`` sweep distances, physical rates, and
+decoders through the same pipeline.
 
 Fast sampling path::
 
@@ -53,7 +56,15 @@ from repro.core.compiler import TISCC, CompiledOperation
 from repro.core.tiles import TileGrid
 from repro.code.logical_qubit import LogicalQubit
 from repro.code.arrangements import Arrangement
-from repro.decode import MemoryExperiment, UnionFindDecoder
+from repro.decode import (
+    Decoder,
+    LookupDecoder,
+    MemoryExperiment,
+    UnionFindDecoder,
+    UnweightedUnionFindDecoder,
+    available_decoders,
+    get_decoder,
+)
 from repro.hardware.grid import GridManager
 from repro.hardware.model import HardwareModel, GATE_TIMES_US
 from repro.hardware.circuit import HardwareCircuit
@@ -61,7 +72,7 @@ from repro.sim.noise import NOISE_PRESETS, NoiseModel, NoiseParams
 from repro.sim.dem import DetectorErrorModel, DemExtractionError
 from repro.sim.frame import FrameSampler, FrameSamples
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "TISCC",
@@ -74,7 +85,12 @@ __all__ = [
     "HardwareCircuit",
     "GATE_TIMES_US",
     "MemoryExperiment",
+    "Decoder",
+    "get_decoder",
+    "available_decoders",
     "UnionFindDecoder",
+    "UnweightedUnionFindDecoder",
+    "LookupDecoder",
     "NoiseModel",
     "NoiseParams",
     "NOISE_PRESETS",

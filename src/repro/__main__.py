@@ -12,7 +12,9 @@ Examples::
     tiscc lfr --distances 3 5 --rates 3e-4 5e-3 --shots 1000
     tiscc lfr --distances 3 --noise near_term --shots 500
     tiscc lfr --distances 3 5 7 --rates 1e-3 --shots 20000 --engine frame
+    tiscc lfr --distances 3 --rates 1e-3 --decoder union_find_unweighted
     tiscc dem --distance 5 --rate 1e-3 --json dem5.json
+    tiscc dem --distance 3 --rate 1e-3 --decoder lookup
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import sys
 import time
 
 from repro.code.arrangements import Arrangement
+from repro.decode.base import available_decoders
 from repro.estimator.report import (
     format_logical_error_table,
     format_logical_summary,
@@ -165,16 +168,19 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
             rounds=args.rounds,
             seed=args.seed,
             engine=args.engine,
+            decoder=args.decoder,
         )
     except ValueError as err:
-        # Bad rates/scales/distances surface as one-line messages, not tracebacks.
+        # Bad rates/scales/distances/decoders surface as one-line messages,
+        # not tracebacks (the lookup decoder rejects large graphs here too).
         print(err)
         return 2
     elapsed = time.perf_counter() - t0
     print(
         f"# logical error rates: {args.basis}-basis memory, distances "
         f"{args.distances}, {args.shots} shots each, seed {args.seed}, "
-        f"{args.engine} engine ({elapsed:.1f} s total)"
+        f"{args.engine} engine, {args.decoder or 'union_find'} decoder "
+        f"({elapsed:.1f} s total)"
     )
     print(format_logical_error_table(reports, title="decoded logical error rates"))
     if args.json:
@@ -242,6 +248,20 @@ def _cmd_dem(args: argparse.Namespace) -> int:
             f"analytic marginals: mean detector rate "
             f"{dem.detection_rates().mean():.4g}, raw observable flip rate "
             f"{float(dem.observable_rates()[0]):.4g}"
+        )
+    if args.decoder is not None:
+        try:
+            graph = experiment.matching_graph(model)
+            experiment.decoder_for(model, args.decoder)  # validates buildability
+        except ValueError as err:
+            # e.g. the lookup decoder refusing a too-large graph.
+            print(err)
+            return 2
+        ws = [e.weight for e in graph.edges]
+        span = f"weights {min(ws):.3g}..{max(ws):.3g}" if ws else "no edges"
+        print(
+            f"decoding graph ({args.decoder}): {graph.n_detectors} detectors, "
+            f"{graph.n_edges} edges, {span}"
         )
     if args.json:
         with open(args.json, "w") as fh:
@@ -344,6 +364,12 @@ def main(argv: list[str] | None = None) -> int:
         default="frame",
         help="sampling path: DEM frame sampler (fast, default) or packed-tableau replay",
     )
+    p_lfr.add_argument(
+        "--decoder",
+        choices=available_decoders(),
+        default=None,
+        help="registered decoder (default: weighted union-find on the DEM graph)",
+    )
     p_lfr.add_argument("--json", default=None, help="also write reports to a JSON file")
     p_lfr.set_defaults(fn=_cmd_lfr)
 
@@ -359,6 +385,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_dem.add_argument(
         "--noise", default="near_term", help="noise preset (used when --rate is not given)"
+    )
+    p_dem.add_argument(
+        "--decoder",
+        choices=available_decoders(),
+        default=None,
+        help="also summarize the DEM-built decoding graph for this decoder",
     )
     p_dem.add_argument("--json", default=None, help="write the full DEM to a JSON file")
     p_dem.set_defaults(fn=_cmd_dem)

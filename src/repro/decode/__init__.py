@@ -1,22 +1,41 @@
-"""Syndrome decoding: matching graphs, union-find decoding, memory experiments.
+"""Syndrome decoding: matching graphs, pluggable decoders, memory experiments.
 
 Closes the loop from compiled stabilizer schedules to logical error rates:
-:mod:`repro.decode.graph` extracts the detector structure (syndrome
-differences between QEC rounds plus boundary nodes), :mod:`repro.decode.union_find`
-decodes whole shot batches with cluster growth + peeling, and
-:mod:`repro.decode.memory` packages the standard memory experiment that
-drives distance/rate sweeps and the ``tiscc lfr`` CLI.
+:mod:`repro.decode.graph` holds the detector structure (schedule-built
+unweighted graphs and DEM-built graphs carrying log-likelihood edge
+weights), :mod:`repro.decode.base` defines the :class:`Decoder` protocol
+and registry (``get_decoder("union_find" | "union_find_unweighted" |
+"lookup")``), :mod:`repro.decode.union_find` implements the batched
+weighted union-find hot path, :mod:`repro.decode.lookup` the exact
+small-graph table decoder, and :mod:`repro.decode.memory` packages the
+standard memory experiment that drives distance/rate sweeps and the
+``tiscc lfr`` CLI.
 """
 
-from repro.decode.graph import BOUNDARY, DetectorEdge, MatchingGraph, build_memory_graph
+from repro.decode.base import Decoder, available_decoders, get_decoder, register_decoder
+from repro.decode.graph import (
+    BOUNDARY,
+    DetectorEdge,
+    MatchingGraph,
+    build_dem_graph,
+    build_memory_graph,
+)
+from repro.decode.lookup import LookupDecoder
 from repro.decode.memory import MemoryExperiment
-from repro.decode.union_find import UnionFindDecoder
+from repro.decode.union_find import UnionFindDecoder, UnweightedUnionFindDecoder
 
 __all__ = [
     "BOUNDARY",
     "DetectorEdge",
     "MatchingGraph",
     "build_memory_graph",
+    "build_dem_graph",
+    "Decoder",
+    "available_decoders",
+    "get_decoder",
+    "register_decoder",
     "UnionFindDecoder",
+    "UnweightedUnionFindDecoder",
+    "LookupDecoder",
     "MemoryExperiment",
 ]

@@ -31,16 +31,38 @@ the structure a *matching* graph:
 Each space/boundary edge records whether its data qubit lies on the tracked
 logical operator's support (``frame = 1``): the decoder's correction flips
 the logical verdict once per frame edge it uses.
+
+Two constructions produce :class:`MatchingGraph` instances:
+
+* :func:`build_memory_graph` derives the structure from the compiled
+  stabilizer *schedule* (face supports, visit layers) with unit edge
+  weights — the legacy construction, kept as a noise-free cross-check;
+* :func:`build_dem_graph` derives it from an extracted
+  :class:`~repro.sim.dem.DetectorErrorModel`, so every edge is an actual
+  error *mechanism* of the noisy circuit carrying a log-likelihood weight
+  ``log((1 - p) / p)`` — the graph weighted union-find growth consumes.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-__all__ = ["BOUNDARY", "DetectorEdge", "MatchingGraph", "build_memory_graph"]
+__all__ = [
+    "BOUNDARY",
+    "DetectorEdge",
+    "MatchingGraph",
+    "build_memory_graph",
+    "build_dem_graph",
+]
 
 #: Virtual node index for the open boundary of the patch.
 BOUNDARY = -1
+
+#: Probability floor/ceiling when converting mechanism rates to weights
+#: (keeps ``log((1-p)/p)`` finite and positive).
+_MIN_PROBABILITY = 1e-12
+_MAX_PROBABILITY = 0.5 - 1e-12
 
 
 @dataclass(frozen=True)
@@ -48,14 +70,18 @@ class DetectorEdge:
     """One fault mechanism connecting two detectors (or one and the boundary).
 
     ``u``/``v`` are detector node ids (``v`` may be :data:`BOUNDARY`),
-    ``frame`` is 1 when the fault flips the tracked logical operator, and
-    ``kind`` tags the mechanism (``"space"`` or ``"time"``).
+    ``frame`` is 1 when the fault flips the tracked logical operator,
+    ``kind`` tags the mechanism (``"space"``, ``"time"``, ``"diagonal"``,
+    or ``"dem"`` for DEM-derived edges), and ``weight`` is the
+    log-likelihood cost of traversing the edge (1.0 for unweighted
+    schedule-built graphs).
     """
 
     u: int
     v: int
     frame: int = 0
     kind: str = "space"
+    weight: float = 1.0
 
 
 class MatchingGraph:
@@ -70,6 +96,8 @@ class MatchingGraph:
                     raise ValueError(f"edge {e} references unknown detector {node}")
             if e.u == e.v:
                 raise ValueError(f"self-loop edge {e}")
+            if not e.weight > 0:
+                raise ValueError(f"edge {e} has non-positive weight")
         self.n_detectors = n_detectors
         self.edges = list(edges)
 
@@ -77,8 +105,17 @@ class MatchingGraph:
     def n_edges(self) -> int:
         return len(self.edges)
 
+    @property
+    def is_weighted(self) -> bool:
+        """True when edge weights are not all identical."""
+        if not self.edges:
+            return False
+        w0 = self.edges[0].weight
+        return any(abs(e.weight - w0) > 1e-12 for e in self.edges)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<MatchingGraph {self.n_detectors} detectors, {self.n_edges} edges>"
+        tag = "weighted, " if self.is_weighted else ""
+        return f"<MatchingGraph {tag}{self.n_detectors} detectors, {self.n_edges} edges>"
 
 
 def build_memory_graph(
@@ -154,3 +191,57 @@ def build_memory_graph(
                     )
                 )
     return MatchingGraph(slices * n_faces, edges)
+
+
+def build_dem_graph(dem, observable: int = 0) -> MatchingGraph:
+    """Decoding graph built from a :class:`~repro.sim.dem.DetectorErrorModel`.
+
+    Every DEM mechanism becomes (or merges into) one edge: one-detector
+    mechanisms attach to the open boundary, two-detector mechanisms connect
+    their detectors, and mechanisms firing more than two detectors are
+    rejected (they would be hyperedges — the memory experiments this graph
+    serves never produce them because the schedule-built diagonal edges
+    already split mid-round faults).  Mechanisms sharing a detector pair are
+    XOR-combined (``p <- p_a(1-p_b) + p_b(1-p_a)``) and the frame bit of
+    the most probable contributor wins; each edge's ``weight`` is the
+    log-likelihood cost ``log((1 - p) / p)`` of its combined probability.
+
+    Mechanisms that flip *no* detector are skipped: they are undetectable,
+    so no graph decoder can act on them (their observable flips are an
+    irreducible error floor).  ``observable`` selects which observable's
+    flips define the frame bits (memory experiments have exactly one).
+    """
+    if not 0 <= observable < dem.n_observables:
+        raise ValueError(
+            f"observable {observable} out of range for {dem.n_observables} observables"
+        )
+    # pair -> [combined probability, frame of strongest source, strongest p]
+    merged: dict[tuple[int, int], list] = {}
+    for p, dets, mask in zip(dem.probs, dem.detectors, dem.observables):
+        p = float(p)
+        if p <= 0.0:
+            continue
+        frame = int(mask) >> observable & 1
+        if len(dets) == 0:
+            continue  # undetectable: invisible to every detector
+        if len(dets) == 1:
+            pair = (int(dets[0]), BOUNDARY)
+        elif len(dets) == 2:
+            pair = (int(dets[0]), int(dets[1]))
+        else:
+            raise ValueError(
+                f"mechanism fires {len(dets)} detectors {tuple(dets)}; a "
+                "matching graph needs at most two — decompose hyperedges first"
+            )
+        entry = merged.get(pair)
+        if entry is None:
+            merged[pair] = [p, frame, p]
+        else:
+            entry[0] = entry[0] * (1.0 - p) + p * (1.0 - entry[0])
+            if p > entry[2]:
+                entry[1], entry[2] = frame, p
+    edges = []
+    for (u, v), (p, frame, _) in sorted(merged.items()):
+        p = min(max(p, _MIN_PROBABILITY), _MAX_PROBABILITY)
+        edges.append(DetectorEdge(u, v, frame, "dem", math.log((1.0 - p) / p)))
+    return MatchingGraph(dem.n_detectors, edges)

@@ -7,7 +7,9 @@ compiles that program once through the TISCC stack, extracts the detector
 structure from the compiled stabilizer schedule (the per-round face outcome
 labels of the patch's :class:`~repro.code.stabilizer_circuits.RoundRecord`
 bookkeeping plus the final transversal data labels), and decodes whole
-:class:`~repro.sim.batch.BatchResult` batches with the union-find decoder.
+:class:`~repro.sim.batch.BatchResult` batches with any registered decoder
+(weighted union-find by default, over the DEM-built matching graph when a
+noise model is in play).
 
 Only the stabilizer sector that checks the tracked logical is decoded: a
 Z-basis memory tracks logical Z, which is flipped by X data errors, which
@@ -31,11 +33,12 @@ import time
 import numpy as np
 
 from repro.core.compiler import TISCC
-from repro.decode.graph import MatchingGraph, build_memory_graph
-from repro.decode.union_find import UnionFindDecoder
+from repro.decode.base import Decoder, get_decoder
+from repro.decode.graph import MatchingGraph, build_dem_graph, build_memory_graph
 from repro.estimator.report import LogicalErrorReport
 from repro.sim.batch import BatchResult
 from repro.sim.dem import (
+    DemExtractionError,
     DetectorErrorModel,
     FaultTable,
     build_dem,
@@ -57,6 +60,14 @@ class MemoryExperiment:
     dual.  Compilation and graph construction happen once in the
     constructor; :meth:`run` then samples and decodes arbitrarily many
     batches against the same compiled circuit.
+
+    ``decoder`` names the registered decoder (see
+    :func:`~repro.decode.base.get_decoder`) used by default; :meth:`run`
+    and :meth:`decode_batch` accept a per-call override.  When a noise
+    model is in play, decoding runs over the DEM-built matching graph
+    (log-likelihood edge weights, cached per parameter set); the
+    schedule-built graph remains on :attr:`graph` as the noise-free
+    cross-check and the fallback for non-Clifford schedules.
     """
 
     def __init__(
@@ -66,6 +77,7 @@ class MemoryExperiment:
         dz: int | None = None,
         rounds: int | None = None,
         basis: str = "Z",
+        decoder: str = "union_find",
     ):
         if basis not in ("Z", "X"):
             raise ValueError("memory basis must be 'Z' or 'X'")
@@ -135,7 +147,14 @@ class MemoryExperiment:
                 for p in self.faces
             ],
         )
-        self.decoder = UnionFindDecoder(self.graph)
+        #: Default decoder name; validated here by building the schedule-
+        #: graph decoder (kept on :attr:`decoder` for direct use).
+        self.decoder_name = decoder
+        self.decoder: Decoder = get_decoder(decoder, self.graph)
+        #: DEM-built matching graphs cached per noise-parameter key.
+        self._dem_graphs: dict[tuple, MatchingGraph] = {}
+        #: Built decoders cached per (name, graph key).
+        self._decoders: dict[tuple, Decoder] = {("schedule", decoder): self.decoder}
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -148,7 +167,13 @@ class MemoryExperiment:
 
     @property
     def n_detectors(self) -> int:
-        return self.graph.n_detectors
+        """Detector count of the syndrome layout: ``(rounds + 1) * faces``.
+
+        Computed from the schedule itself (not from any graph), so the
+        guard in :meth:`decoder_for` can catch a decoder built over a graph
+        of the wrong shape before it silently decodes garbage.
+        """
+        return (self.rounds + 1) * len(self.faces)
 
     # ------------------------------------------------------------- sampling
     def sample(
@@ -201,6 +226,57 @@ class MemoryExperiment:
         """Stim-style DEM of this memory experiment under ``noise``."""
         return build_dem(self.fault_table(noise), noise.params, keep_sources=keep_sources)
 
+    # ------------------------------------------------------------- decoders
+    @staticmethod
+    def _params_key(noise: NoiseModel) -> tuple:
+        p = noise.params
+        return (p.p1, p.p2, p.p_prep, p.p_meas, p.t2_us)
+
+    def matching_graph(self, noise: NoiseModel | None = None) -> MatchingGraph:
+        """The decoding graph for ``noise``: DEM-built and weighted when possible.
+
+        With a non-trivial noise model the graph is rebuilt from the
+        :meth:`detector_error_model` (every edge an actual mechanism of the
+        noisy circuit, weighted ``log((1-p)/p)``) and cached per parameter
+        set; without one — or when the schedule cannot be folded into a DEM
+        — the schedule-built :attr:`graph` is returned instead.
+        """
+        if noise is None or noise.is_trivial:
+            return self.graph
+        key = self._params_key(noise)
+        cached = self._dem_graphs.get(key)
+        if cached is None:
+            try:
+                cached = build_dem_graph(self.detector_error_model(noise))
+            except DemExtractionError:
+                cached = self.graph  # non-Clifford schedule: legacy fallback
+            self._dem_graphs[key] = cached
+        return cached
+
+    def decoder_for(
+        self, noise: NoiseModel | None = None, decoder: str | None = None
+    ) -> Decoder:
+        """A cached decoder instance for ``noise`` (see :meth:`matching_graph`).
+
+        Raises :class:`ValueError` when the selected graph's detector count
+        disagrees with this experiment's :attr:`n_detectors` — a mismatch
+        would otherwise decode garbage silently.
+        """
+        name = decoder if decoder is not None else self.decoder_name
+        graph = self.matching_graph(noise)
+        key = ("schedule" if graph is self.graph else self._params_key(noise), name)
+        built = self._decoders.get(key)
+        if built is None:
+            built = get_decoder(name, graph)
+            self._decoders[key] = built
+        if built.graph.n_detectors != self.n_detectors:
+            raise ValueError(
+                f"decoder graph has {built.graph.n_detectors} detectors but "
+                f"this experiment produces {self.n_detectors}; the decoder "
+                "was built for a different detector layout"
+            )
+        return built
+
     def sample_frame(
         self,
         n_shots: int,
@@ -248,13 +324,21 @@ class MemoryExperiment:
         return (values < 0).astype(np.uint8)
 
     # -------------------------------------------------------------- decoding
-    def decode_batch(self, batch: BatchResult) -> np.ndarray:
+    def decode_batch(
+        self,
+        batch: BatchResult,
+        noise: NoiseModel | None = None,
+        decoder: str | None = None,
+    ) -> np.ndarray:
         """Decoded logical verdicts: raw flip XOR decoder-predicted flip.
 
         A nonzero entry is a *logical error* — the decoder failed to undo
-        the flip (or introduced one).
+        the flip (or introduced one).  ``noise`` selects the DEM-weighted
+        decoding graph (see :meth:`decoder_for`); ``decoder`` overrides the
+        experiment's default decoder for this call.
         """
-        predicted = self.decoder.decode_batch(self.syndromes(batch))
+        dec = self.decoder_for(noise, decoder)
+        predicted = dec.decode_batch(self.syndromes(batch))
         return self.measured_flips(batch) ^ predicted
 
     def run(
@@ -265,6 +349,7 @@ class MemoryExperiment:
         noise_seed: int | None = None,
         engine: str = "tableau",
         max_batch: int | None = None,
+        decoder: str | None = None,
     ) -> LogicalErrorReport:
         """Sample ``n_shots``, decode them, and summarize the logical fidelity.
 
@@ -280,22 +365,25 @@ class MemoryExperiment:
         ``noise_seed`` (when given) selects the mechanism-sampling streams
         and ``seed`` is only the fallback when it is unset — mirroring the
         tableau path, where a fixed ``noise_seed`` pins the noise draws.
+
+        ``decoder`` overrides the experiment's default decoder name for
+        this run (recorded on the report's ``decoder`` column).
         """
         if engine not in ("frame", "tableau"):
             raise ValueError(f"engine must be 'frame' or 'tableau', got {engine!r}")
         if engine == "frame":
-            from repro.sim.dem import DemExtractionError
-
             try:
                 return self._run_frame(
                     n_shots,
                     noise,
                     seed if noise_seed is None else noise_seed,
                     max_batch,
+                    decoder,
                 )
             except DemExtractionError:
                 pass  # automatic fallback to the reference engine
 
+        dec = self.decoder_for(noise, decoder)
         t0 = time.perf_counter()
         batch = self.sample(n_shots, noise=noise, seed=seed, noise_seed=noise_seed)
         sim_seconds = time.perf_counter() - t0
@@ -303,7 +391,7 @@ class MemoryExperiment:
         t0 = time.perf_counter()
         syndromes = self.syndromes(batch)
         raw = self.measured_flips(batch)
-        failures = raw ^ self.decoder.decode_batch(syndromes)
+        failures = raw ^ dec.decode_batch(syndromes)
         decode_seconds = time.perf_counter() - t0
 
         return self._report(
@@ -315,6 +403,7 @@ class MemoryExperiment:
             sim_seconds=sim_seconds,
             decode_seconds=decode_seconds,
             engine="tableau",
+            decoder=dec.name,
         )
 
     def _run_frame(
@@ -323,10 +412,12 @@ class MemoryExperiment:
         noise: NoiseModel | None,
         seed: int | None,
         max_batch: int | None,
+        decoder: str | None = None,
     ) -> LogicalErrorReport:
         """Frame-engine body of :meth:`run` (DEM built/cached up front)."""
         model = noise if noise is not None else NoiseModel.preset("ideal")
         sampler = FrameSampler(self.detector_error_model(model))
+        dec = self.decoder_for(noise, decoder)
 
         t0 = time.perf_counter()
         step = max_batch if max_batch is not None and max_batch >= 1 else n_shots
@@ -339,7 +430,7 @@ class MemoryExperiment:
         sim_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        failures = raw ^ self.decoder.decode_batch(dets)
+        failures = raw ^ dec.decode_batch(dets)
         decode_seconds = time.perf_counter() - t0
 
         return self._report(
@@ -351,6 +442,7 @@ class MemoryExperiment:
             sim_seconds=sim_seconds,
             decode_seconds=decode_seconds,
             engine="frame",
+            decoder=dec.name,
         )
 
     def _report(

@@ -1,55 +1,195 @@
-"""Union-find decoder (cluster growth + peeling) over a matching graph.
+"""Weighted union-find decoder (cluster growth + peeling) over a matching graph.
 
-The weighted-growth union-find decoder of Delfosse & Nickerson on unit
-weights: odd (defect-carrying) clusters grow all of their boundary edges by
-half steps; clusters merge when an edge is fully grown, and stop being
-active once their defect parity is even or they touch the open boundary.
-The grown support is then *peeled*: a spanning forest of each cluster is
-traversed leaf-to-root, emitting a correction edge for every leaf that
-carries a defect.  The decoder's verdict is the parity of logical-frame
-edges in that correction — exactly what the logical-operator readout must
-be XORed with.
+The weighted-growth union-find decoder of Delfosse & Nickerson: odd
+(defect-carrying) clusters grow their boundary edges in integer steps, where
+each edge's capacity is its quantized log-likelihood weight (see
+:func:`~repro.decode.base.integer_weights`) — cheap, high-probability edges
+are traversed in few steps while improbable ones take proportionally longer,
+so the grown support concentrates on likely error patterns.  On a
+unit-weight graph every capacity is two half-steps and the algorithm reduces
+exactly to the classic unweighted decoder.  Clusters merge when an edge is
+fully grown and stop being active once their defect parity is even or they
+touch the open boundary.  The grown support is then *peeled*: a spanning
+forest of each cluster is traversed leaf-to-root, emitting a correction edge
+for every leaf that carries a defect.  The decoder's verdict is the parity
+of logical-frame edges in that correction — exactly what the
+logical-operator readout must be XORed with.
 
-Decoding is exact on single faults and linear-time on the graph size; shots
-are decoded independently, but :meth:`UnionFindDecoder.decode_batch`
-deduplicates identical syndromes first (at sub-threshold error rates most
-shots share the trivial or a low-weight syndrome, so batches decode far
-faster than shots x single-shot time).
+The hot path is built for batches:
+
+* construction flattens the graph into CSR adjacency plus preallocated
+  flat ``parent``/``parity``/``growth`` arrays that are scrubbed (only the
+  touched entries) after every shot, so no per-shot allocation scales with
+  the graph;
+* growth walks only the *frontier* edges of active clusters — never the
+  whole edge list — so sparse sub-threshold syndromes cost time
+  proportional to the error support, not the spacetime volume;
+* :meth:`UnionFindDecoder.decode_batch` vectorizes at the batch level:
+  all-zero shots short-circuit, single-defect shots resolve through a
+  precomputed min-weight boundary-matching table, and the remaining rows
+  are deduplicated so each distinct syndrome is decoded exactly once.
+
+Decoding is exact on single faults and linear-time on the grown support.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
+
 import numpy as np
 
+from repro.decode.base import Decoder, integer_weights, register_decoder
 from repro.decode.graph import BOUNDARY, MatchingGraph
 
-__all__ = ["UnionFindDecoder"]
+__all__ = ["UnionFindDecoder", "UnweightedUnionFindDecoder"]
 
 
-class UnionFindDecoder:
-    """Decodes syndromes over a fixed :class:`MatchingGraph`."""
+@register_decoder
+class UnionFindDecoder(Decoder):
+    """Decodes syndromes over a fixed :class:`MatchingGraph`.
 
-    def __init__(self, graph: MatchingGraph):
-        self.graph = graph
-        self.n = graph.n_detectors
+    ``weighted=True`` (default) derives integer growth capacities from the
+    graph's edge weights; ``weighted=False`` forces unit capacities (the
+    ablation arm — also registered as ``"union_find_unweighted"``).
+
+    Decoding reuses preallocated scratch arrays, so one instance must not
+    run concurrent ``decode_batch`` calls; build one decoder per thread
+    (see :class:`~repro.decode.base.Decoder`).
+    """
+
+    name = "union_find"
+
+    def __init__(self, graph: MatchingGraph, weighted: bool = True):
+        super().__init__(graph)
+        self.weighted = bool(weighted) and graph.is_weighted
+        n, n_edges = self.n, graph.n_edges
         # The open boundary is materialized as one extra node with index n.
-        self._eu = np.empty(graph.n_edges, dtype=np.int64)
-        self._ev = np.empty(graph.n_edges, dtype=np.int64)
-        self._frame = np.empty(graph.n_edges, dtype=np.uint8)
+        eu = np.empty(n_edges, dtype=np.int64)
+        ev = np.empty(n_edges, dtype=np.int64)
+        frame = np.empty(n_edges, dtype=np.uint8)
         for k, e in enumerate(graph.edges):
-            self._eu[k] = self.n if e.u == BOUNDARY else e.u
-            self._ev[k] = self.n if e.v == BOUNDARY else e.v
-            self._frame[k] = e.frame
-        #: node -> [(edge, neighbour)] including the boundary node.
-        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(self.n + 1)]
-        for k in range(graph.n_edges):
-            u, v = int(self._eu[k]), int(self._ev[k])
-            self._adj[u].append((k, v))
-            self._adj[v].append((k, u))
+            eu[k] = n if e.u == BOUNDARY else e.u
+            ev[k] = n if e.v == BOUNDARY else e.v
+            frame[k] = e.frame
+        if self.weighted:
+            weights = np.array([e.weight for e in graph.edges], dtype=np.float64)
+        else:
+            weights = np.ones(n_edges, dtype=np.float64)
+        #: Integer growth capacity per edge (quantized log-likelihood weight).
+        cap = integer_weights(weights)
+
+        # Flat CSR adjacency over the n + 1 nodes (boundary included).
+        degree = np.zeros(n + 2, dtype=np.int64)
+        for k in range(n_edges):
+            degree[eu[k] + 1] += 1
+            degree[ev[k] + 1] += 1
+        indptr = np.cumsum(degree)
+        adj_edge = np.empty(2 * n_edges, dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for k in range(n_edges):
+            for node in (eu[k], ev[k]):
+                adj_edge[cursor[node]] = k
+                cursor[node] += 1
+
+        # Preallocated per-shot state, scrubbed (touched entries only) after
+        # every decode so batches never reallocate.  Kept as flat Python
+        # lists: the growth loop is scalar-indexed, where list access is
+        # several times faster than numpy item access.
+        self._parent: list[int] = list(range(n + 1))
+        self._parity: list[int] = [0] * (n + 1)
+        self._growth: list[int] = [0] * n_edges
+        self._rate: list[int] = [0] * n_edges
+        self._peel_adj: list[list[tuple[int, int]]] = [[] for _ in range(n + 1)]
+        self._peel_seen: list[bool] = [False] * (n + 1)
+        self._peel_defect: list[int] = [0] * (n + 1)
+
+        # Plain-int mirrors of the read-only arrays, for the same reason
+        # (the numpy intermediates above are not retained).
+        self._eu_list: list[int] = eu.tolist()
+        self._ev_list: list[int] = ev.tolist()
+        self._frame_list: list[int] = frame.tolist()
+        self._cap_list: list[int] = cap.tolist()
+        self._adj_lists: list[list[int]] = [
+            adj_edge[indptr[i] : indptr[i + 1]].tolist() for i in range(n + 1)
+        ]
+
+        self._build_single_defect_table()
+
+    # ---------------------------------------------------------- fast tables
+    def _build_single_defect_table(self) -> None:
+        """Min-weight boundary matching for every lone defect, via Dijkstra.
+
+        A weight-1 syndrome fires exactly one detector; the maximum-
+        likelihood correction is the cheapest path from that detector to the
+        open boundary, and the verdict is that path's frame parity.  One
+        Dijkstra sweep from the boundary node over the integer capacities
+        precomputes all of them.
+        """
+        n, b = self.n, self.n
+        adj, eu, ev = self._adj_lists, self._eu_list, self._ev_list
+        frame, cap = self._frame_list, self._cap_list
+        dist = [math.inf] * (n + 1)
+        par = [0] * (n + 1)
+        dist[b] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, b)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for k in adj[u]:
+                v = ev[k] if eu[k] == u else eu[k]
+                nd = d + cap[k]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    par[v] = par[u] ^ frame[k]
+                    heapq.heappush(heap, (nd, v))
+        self._single_verdict = np.array(par[:n], dtype=np.uint8)
+        self._single_reachable = np.array(
+            [dist[i] < math.inf for i in range(n)], dtype=bool
+        )
+
+    # -------------------------------------------------------------- decoding
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Per-shot predicted logical flips for a ``(n_shots, n_detectors)`` batch.
+
+        Empty batches and all-zero rows return immediately without entering
+        the growth loop; single-defect rows resolve through the precomputed
+        boundary-matching table; the remaining rows are deduplicated and
+        each distinct syndrome is decoded once.
+        """
+        syndromes = self._validate_batch(syndromes)
+        n_shots = syndromes.shape[0]
+        out = np.zeros(n_shots, dtype=np.uint8)
+        if n_shots == 0:
+            return out
+        counts = syndromes.sum(axis=1, dtype=np.int64)
+        ones = np.nonzero(counts == 1)[0]
+        if ones.size:
+            det = syndromes[ones].argmax(axis=1)
+            if not self._single_reachable[det].all():
+                raise RuntimeError(
+                    "lone defect on a detector with no path to the boundary"
+                )
+            out[ones] = self._single_verdict[det]
+        multi = np.nonzero(counts >= 2)[0]
+        if multi.size:
+            # Hash-based dedup (cheaper than a lexicographic row sort): each
+            # distinct syndrome is decoded exactly once.
+            rows = np.ascontiguousarray(syndromes[multi])
+            cache: dict[bytes, int] = {}
+            for i, shot in enumerate(multi):
+                key = rows[i].tobytes()
+                verdict = cache.get(key)
+                if verdict is None:
+                    verdict = self._decode_defects(np.nonzero(rows[i])[0])
+                    cache[key] = verdict
+                out[shot] = verdict
+        return out
 
     # ------------------------------------------------------------ union-find
     @staticmethod
-    def _find(parent: list, a: int) -> int:
+    def _find(parent: list[int], a: int) -> int:
         root = a
         while parent[root] != root:
             root = parent[root]
@@ -57,106 +197,186 @@ class UnionFindDecoder:
             parent[a], a = root, parent[a]
         return root
 
-    # -------------------------------------------------------------- decoding
-    def decode(self, syndrome: np.ndarray) -> int:
-        """Predicted logical-frame flip (0/1) for one detector bit vector."""
-        syndrome = np.asarray(syndrome, dtype=np.uint8)
-        if syndrome.shape != (self.n,):
-            raise ValueError(
-                f"syndrome shape {syndrome.shape} does not match {self.n} detectors"
-            )
-        defects = np.nonzero(syndrome)[0].tolist()
-        if not defects:
-            return 0
-        support = self._grow(defects, syndrome)
-        return self._peel(support, syndrome)
-
-    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
-        """Per-shot predicted logical flips for a ``(n_shots, n_detectors)`` batch.
-
-        Identical syndrome rows are decoded once and the verdict broadcast.
-        """
-        syndromes = np.asarray(syndromes, dtype=np.uint8)
-        if syndromes.ndim != 2 or syndromes.shape[1] != self.n:
-            raise ValueError(
-                f"syndromes shape {syndromes.shape} does not match "
-                f"(n_shots, {self.n})"
-            )
-        unique, inverse = np.unique(syndromes, axis=0, return_inverse=True)
-        verdicts = np.array([self.decode(row) for row in unique], dtype=np.uint8)
-        return verdicts[inverse.reshape(-1)]
-
-    # ---------------------------------------------------------------- growth
-    def _grow(self, defects: list, syndrome: np.ndarray) -> np.ndarray:
-        """Grow odd clusters until neutral; return the fully-grown edge mask."""
-        n, b = self.n, self.n
-        parent = list(range(n + 1))
-        parity = syndrome.astype(np.int8).tolist() + [0]
-        growth = np.zeros(self.graph.n_edges, dtype=np.int8)
-        eu, ev = self._eu, self._ev
+    def _decode_defects(self, defect_ids: np.ndarray) -> int:
+        """Grow + peel one syndrome given its fired detector indices."""
+        b = self.n
+        parent, parity, growth = self._parent, self._parity, self._growth
+        adj, eu, ev, cap = self._adj_lists, self._eu_list, self._ev_list, self._cap_list
         find = self._find
 
-        for _ in range(2 * (self.graph.n_edges + 1)):
-            boundary_root = find(parent, b)
-            active = {
-                r
-                for r in {find(parent, d) for d in defects}
-                if parity[r] % 2 == 1 and r != boundary_root
-            }
-            if not active:
-                return growth >= 2
-            for k in np.nonzero(growth < 2)[0]:
-                u, v = int(eu[k]), int(ev[k])
-                ru, rv = find(parent, u), find(parent, v)
-                step = (ru in active) + (rv in active)
-                if step == 0:
-                    continue
-                growth[k] += step
-                if growth[k] >= 2 and ru != rv:
-                    parent[ru] = rv
-                    parity[rv] += parity[ru]
-        raise RuntimeError("union-find growth failed to converge")  # pragma: no cover
+        defects = [int(d) for d in defect_ids]
+        touched_nodes = list(defects) + [b]
+        touched_edges: list[int] = []
+        #: Cluster root -> frontier edge ids (lazily filtered).
+        frontier: dict[int, list[int]] = {}
+        for d in defects:
+            parity[d] = 1
+            frontier[d] = list(adj[d])
+        active = list(defects)
+
+        try:
+            for _ in range(len(self._eu_list) + 2):
+                if not active:
+                    break
+                # Half-step growth, event-driven: every frontier edge of an
+                # active cluster grows at rate 1 per incident active cluster;
+                # advance all of them by the largest time step that still
+                # completes at least one edge (fast-forwarding the uniform
+                # growth — identical cluster history, far fewer rounds, and
+                # it makes finely quantized weights free).
+                rate = self._rate
+                scanned: list[int] = []
+                delta = 1 << 30  # min rounds until some frontier edge completes
+                for root in active:
+                    lst = frontier[root]
+                    stale = False
+                    for k in lst:
+                        slack = cap[k] - growth[k]
+                        if slack <= 0:
+                            stale = True  # fully grown: no longer frontier
+                            continue
+                        # Edges that became internal (both endpoints in one
+                        # cluster via another path) are NOT filtered here —
+                        # root lookups per edge per round would dominate the
+                        # decode; they harmlessly grow to capacity and the
+                        # merge step discards them on the root comparison.
+                        r = rate[k]
+                        if r == 0:
+                            scanned.append(k)
+                        rate[k] = r = r + 1
+                        steps = (slack + r - 1) // r
+                        if steps < delta:
+                            delta = steps
+                    if stale:  # rebuild only when something completed
+                        frontier[root] = [k for k in lst if growth[k] < cap[k]]
+                if not scanned:
+                    raise RuntimeError(
+                        "union-find growth stalled: defects cannot reach "
+                        "each other or the boundary"
+                    )
+                merges: list[int] = []
+                for k in scanned:
+                    g = growth[k]
+                    if g == 0:
+                        touched_edges.append(k)
+                    g += rate[k] * delta
+                    growth[k] = g
+                    rate[k] = 0
+                    if g >= cap[k]:
+                        merges.append(k)
+                for k in merges:
+                    ru, rv = find(parent, eu[k]), find(parent, ev[k])
+                    if ru == rv:
+                        continue
+                    fu = frontier.get(ru)
+                    if fu is None:  # fresh node (or the boundary) joins
+                        fu = list(adj[ru]) if ru != b else []
+                        touched_nodes.append(ru)
+                    fv = frontier.get(rv)
+                    if fv is None:
+                        fv = list(adj[rv]) if rv != b else []
+                        touched_nodes.append(rv)
+                    if len(fu) < len(fv):  # keep the larger frontier list
+                        ru, rv, fu, fv = rv, ru, fv, fu
+                    parent[rv] = ru
+                    parity[ru] += parity[rv]
+                    fu.extend(fv)
+                    frontier[ru] = fu
+                    frontier.pop(rv, None)
+                broot = find(parent, b)
+                seen: set[int] = set()
+                active = []
+                for d in defects:
+                    r = find(parent, d)
+                    if r not in seen:
+                        seen.add(r)
+                        if r != broot and parity[r] & 1:
+                            active.append(r)
+            if active:
+                raise RuntimeError(
+                    "union-find growth failed to converge"
+                )  # pragma: no cover
+            support = [k for k in touched_edges if growth[k] >= cap[k]]
+            return self._peel(support, defects)
+        finally:
+            for node in touched_nodes:
+                parent[node] = node
+                parity[node] = 0
+            for k in touched_edges:
+                growth[k] = 0
 
     # --------------------------------------------------------------- peeling
-    def _peel(self, support: np.ndarray, syndrome: np.ndarray) -> int:
+    def _peel(self, support: list[int], defects: list[int]) -> int:
         """Peel the grown support's spanning forest into a correction parity."""
-        n, b = self.n, self.n
-        visited = [False] * (n + 1)
-        defect = syndrome.astype(np.int8).tolist() + [0]
-        parent_edge = [-1] * (n + 1)
-        parent_node = [-1] * (n + 1)
-        flip = 0
+        b = self.n
+        eu, ev, frame = self._eu_list, self._ev_list, self._frame_list
+        adj, seen, defect = self._peel_adj, self._peel_seen, self._peel_defect
+        nodes: list[int] = []
+        try:
+            for k in support:
+                u, v = eu[k], ev[k]
+                if not adj[u]:
+                    nodes.append(u)
+                adj[u].append((k, v))
+                if not adj[v]:
+                    nodes.append(v)
+                adj[v].append((k, u))
+            for d in defects:
+                if not adj[d]:
+                    raise RuntimeError(
+                        "peeling left unmatched defects; grown support disconnected"
+                    )  # pragma: no cover
+                defect[d] = 1
 
-        # Roots: the boundary first (absorbs any defect), then any node still
-        # unvisited — covers interior clusters without boundary contact.
-        order: list[int] = []
-        for root in [b] + list(range(n)):
-            if visited[root]:
-                continue
-            if root != b and not any(support[k] for k, _ in self._adj[root]):
-                continue  # isolated node: nothing to peel
-            visited[root] = True
-            queue = [root]
-            while queue:
-                cur = queue.pop(0)
-                order.append(cur)
-                for k, other in self._adj[cur]:
-                    if not support[k] or visited[other]:
-                        continue
-                    visited[other] = True
-                    parent_edge[other] = k
-                    parent_node[other] = cur
-                    queue.append(other)
+            order: list[int] = []
+            parent_edge: dict[int, int] = {}
+            parent_node: dict[int, int] = {}
+            # Roots: the boundary first (absorbs any defect), then any node
+            # still unvisited — covers clusters without boundary contact.
+            for root in [b, *nodes]:
+                if seen[root] or not adj[root]:
+                    continue
+                seen[root] = True
+                queue = [root]
+                head = 0
+                while head < len(queue):
+                    cur = queue[head]
+                    head += 1
+                    order.append(cur)
+                    for k, other in adj[cur]:
+                        if seen[other]:
+                            continue
+                        seen[other] = True
+                        parent_edge[other] = k
+                        parent_node[other] = cur
+                        queue.append(other)
 
-        for v in reversed(order):
-            if parent_edge[v] < 0 or not defect[v]:
-                continue
-            flip ^= int(self._frame[parent_edge[v]])
-            defect[v] = 0
-            defect[parent_node[v]] ^= 1
-        defect[b] = 0
-        if any(defect):
-            raise RuntimeError(
-                "peeling left unmatched defects; grown support disconnected"
-            )  # pragma: no cover
-        return flip
+            flip = 0
+            for v in reversed(order):
+                if not defect[v] or v not in parent_edge:
+                    continue
+                flip ^= frame[parent_edge[v]]
+                defect[v] = 0
+                defect[parent_node[v]] ^= 1
+            defect[b] = 0
+            if any(defect[nd] for nd in nodes):
+                raise RuntimeError(
+                    "peeling left unmatched defects; grown support disconnected"
+                )  # pragma: no cover
+            return flip
+        finally:
+            for nd in nodes:
+                adj[nd].clear()
+                seen[nd] = False
+                defect[nd] = 0
+            seen[b] = False
+
+
+@register_decoder
+class UnweightedUnionFindDecoder(UnionFindDecoder):
+    """The same growth/peeling engine forced onto unit edge weights."""
+
+    name = "union_find_unweighted"
+
+    def __init__(self, graph: MatchingGraph):
+        super().__init__(graph, weighted=False)

@@ -127,7 +127,8 @@ class LogicalErrorReport:
     shot (a proxy for the physical error burden the decoder saw).
     ``engine`` records which sampling path produced the batch:
     ``"tableau"`` (packed stabilizer replay) or ``"frame"`` (detector-
-    error-model Pauli-frame sampling, the fast path).
+    error-model Pauli-frame sampling, the fast path); ``decoder`` the
+    registered decoder name that produced the verdicts.
     """
 
     operation: str
@@ -143,6 +144,7 @@ class LogicalErrorReport:
     sim_seconds: float
     decode_seconds: float
     engine: str = "tableau"
+    decoder: str = "union_find"
 
     @property
     def logical_error_rate(self) -> float:
@@ -161,8 +163,8 @@ class LogicalErrorReport:
     @staticmethod
     def header() -> list[str]:
         return [
-            "operation", "dx", "dz", "rounds", "noise", "shots",
-            "LER", "stderr", "raw", "defects/shot", "engine", "sim [s]", "decode [s]",
+            "operation", "dx", "dz", "rounds", "noise", "shots", "LER", "stderr",
+            "raw", "defects/shot", "engine", "decoder", "sim [s]", "decode [s]",
         ]
 
     def row(self) -> list[str]:
@@ -178,6 +180,7 @@ class LogicalErrorReport:
             f"{self.raw_error_rate:.4f}",
             f"{self.mean_defects:.2f}",
             self.engine,
+            self.decoder,
             f"{self.sim_seconds:.2f}",
             f"{self.decode_seconds:.2f}",
         ]
@@ -199,6 +202,7 @@ class LogicalErrorReport:
             "stderr": self.stderr,
             "mean_defects": self.mean_defects,
             "engine": self.engine,
+            "decoder": self.decoder,
             "sim_seconds": self.sim_seconds,
             "decode_seconds": self.decode_seconds,
         }

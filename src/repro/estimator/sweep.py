@@ -84,6 +84,7 @@ def logical_error_sweep(
     seed: int = 0,
     engine: str = "frame",
     max_batch: int | None = None,
+    decoder: str | None = None,
 ) -> list[LogicalErrorReport]:
     """Decoded logical error rate across code distances and noise strengths.
 
@@ -101,6 +102,10 @@ def logical_error_sweep(
     reference path.  ``max_batch`` chunks frame sampling; per-shot
     ``SeedSequence.spawn`` streams make sweep results identical for any
     chunking (a property the test suite locks down).
+
+    ``decoder`` names a registered decoder (``"union_find"``,
+    ``"union_find_unweighted"``, ``"lookup"``, ...); ``None`` keeps each
+    experiment's default (weighted union-find over the DEM-built graph).
     """
     from repro.decode.memory import MemoryExperiment
 
@@ -115,7 +120,12 @@ def logical_error_sweep(
         for model in noise_models:
             reports.append(
                 experiment.run(
-                    shots, noise=model, seed=seed, engine=engine, max_batch=max_batch
+                    shots,
+                    noise=model,
+                    seed=seed,
+                    engine=engine,
+                    max_batch=max_batch,
+                    decoder=decoder,
                 )
             )
     return reports

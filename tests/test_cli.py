@@ -116,3 +116,39 @@ class TestHappyPaths:
         )
         assert code == 0
         assert "tableau engine" in out
+
+    def test_lfr_decoder_selection(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lfr", "--distances", "3", "--rates", "1e-3",
+            "--shots", "50", "--rounds", "2", "--decoder", "union_find_unweighted",
+        )
+        assert code == 0
+        assert "union_find_unweighted" in out
+
+    def test_lfr_unknown_decoder_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys,
+                "lfr", "--distances", "3", "--rates", "1e-3", "--decoder", "mwpm",
+            )
+
+    def test_lfr_lookup_decoder_too_large_is_one_line(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lfr", "--distances", "5", "--rates", "1e-3",
+            "--shots", "10", "--decoder", "lookup",
+        )
+        assert code == 2
+        assert "lookup" in out and "limit" in out
+        assert "Traceback" not in out
+
+    def test_dem_decoder_graph_summary(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "dem", "--distance", "3", "--rounds", "2", "--rate", "1e-3",
+            "--decoder", "lookup",
+        )
+        assert code == 0
+        assert "decoding graph (lookup):" in out
+        assert "weights" in out

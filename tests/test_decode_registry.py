@@ -1,0 +1,256 @@
+"""Decoder registry, batch fast paths, guards, and cross-decoder equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decode import (
+    BOUNDARY,
+    Decoder,
+    DetectorEdge,
+    LookupDecoder,
+    MatchingGraph,
+    MemoryExperiment,
+    UnionFindDecoder,
+    UnweightedUnionFindDecoder,
+    available_decoders,
+    build_dem_graph,
+    get_decoder,
+)
+from repro.sim.noise import NoiseModel
+
+
+def syndrome_of(graph: MatchingGraph, edge_indices) -> np.ndarray:
+    syn = np.zeros(graph.n_detectors, dtype=np.uint8)
+    for k in edge_indices:
+        e = graph.edges[k]
+        for node in (e.u, e.v):
+            if node != BOUNDARY:
+                syn[node] ^= 1
+    return syn
+
+
+@pytest.fixture(scope="module")
+def exp3() -> MemoryExperiment:
+    return MemoryExperiment(distance=3, basis="Z")
+
+
+class TestRegistry:
+    def test_builtin_decoders_registered(self):
+        names = available_decoders()
+        assert {"union_find", "union_find_unweighted", "lookup"} <= set(names)
+
+    def test_get_decoder_returns_protocol_instances(self, exp3):
+        for name, cls in [
+            ("union_find", UnionFindDecoder),
+            ("union_find_unweighted", UnweightedUnionFindDecoder),
+            ("lookup", LookupDecoder),
+        ]:
+            dec = get_decoder(name, exp3.graph)
+            assert isinstance(dec, cls) and isinstance(dec, Decoder)
+            assert dec.name == name
+            assert dec.graph is exp3.graph
+
+    def test_unknown_decoder_rejected_with_choices(self, exp3):
+        with pytest.raises(ValueError, match="unknown decoder.*union_find"):
+            get_decoder("mwpm", exp3.graph)
+
+    def test_lookup_refuses_large_graphs(self):
+        exp5 = MemoryExperiment(distance=5, basis="Z")
+        with pytest.raises(ValueError, match="lookup.*limit"):
+            get_decoder("lookup", exp5.graph)
+
+    def test_decode_and_decode_batch_agree(self, exp3):
+        rng = np.random.default_rng(5)
+        syndromes = (rng.random((32, exp3.n_detectors)) < 0.08).astype(np.uint8)
+        for name in available_decoders():
+            dec = get_decoder(name, exp3.graph)
+            batch = dec.decode_batch(syndromes)
+            single = np.array([dec.decode(s) for s in syndromes])
+            assert np.array_equal(batch, single), name
+
+
+class TestBatchFastPaths:
+    """Satellite regressions: empty batches and all-zero syndromes."""
+
+    @pytest.mark.parametrize("name", ["union_find", "union_find_unweighted", "lookup"])
+    def test_empty_batch_returns_well_shaped_uint8(self, exp3, name):
+        dec = get_decoder(name, exp3.graph)
+        out = dec.decode_batch(np.zeros((0, exp3.n_detectors), dtype=np.uint8))
+        assert out.shape == (0,)
+        assert out.dtype == np.uint8
+
+    @pytest.mark.parametrize("name", ["union_find", "union_find_unweighted", "lookup"])
+    def test_all_zero_syndromes_decode_trivially(self, exp3, name):
+        dec = get_decoder(name, exp3.graph)
+        out = dec.decode_batch(np.zeros((7, exp3.n_detectors), dtype=np.uint8))
+        assert out.shape == (7,)
+        assert out.dtype == np.uint8
+        assert not out.any()
+        assert dec.decode(np.zeros(exp3.n_detectors, dtype=np.uint8)) == 0
+
+    def test_shape_validation(self, exp3):
+        for name in available_decoders():
+            dec = get_decoder(name, exp3.graph)
+            with pytest.raises(ValueError, match="does not match"):
+                dec.decode(np.zeros(exp3.n_detectors + 1, dtype=np.uint8))
+            with pytest.raises(ValueError, match="does not match"):
+                dec.decode_batch(np.zeros((4, exp3.n_detectors + 1), dtype=np.uint8))
+
+
+class TestDetectorCountGuard:
+    """Satellite: a decoder built for the wrong layout must be rejected loudly."""
+
+    def test_mismatched_decoder_graph_raises(self, exp3):
+        wrong = MatchingGraph(3, [DetectorEdge(0, 1), DetectorEdge(2, BOUNDARY)])
+        exp3._decoders[("schedule", "union_find")] = get_decoder("union_find", wrong)
+        try:
+            with pytest.raises(ValueError, match="different detector layout"):
+                exp3.decoder_for(None, "union_find")
+        finally:
+            exp3._decoders.pop(("schedule", "union_find"), None)
+
+    def test_matching_decoder_graph_accepted(self, exp3):
+        dec = exp3.decoder_for(None, "union_find")
+        assert dec.graph.n_detectors == exp3.n_detectors
+
+
+class TestSingleFaultEquivalence:
+    """Every decoder corrects every single edge fault, on both graph builds."""
+
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    @pytest.mark.parametrize("name", ["union_find", "union_find_unweighted", "lookup"])
+    def test_schedule_graph_single_faults(self, basis, name):
+        exp = MemoryExperiment(distance=3, basis=basis)
+        dec = get_decoder(name, exp.graph)
+        for k in range(exp.graph.n_edges):
+            syn = syndrome_of(exp.graph, [k])
+            assert dec.decode(syn) == exp.graph.edges[k].frame, exp.graph.edges[k]
+
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    @pytest.mark.parametrize("name", ["union_find", "union_find_unweighted", "lookup"])
+    def test_dem_graph_single_faults(self, basis, name):
+        exp = MemoryExperiment(distance=3, basis=basis)
+        graph = exp.matching_graph(NoiseModel.uniform(1e-3))
+        assert graph is not exp.graph and graph.is_weighted
+        dec = get_decoder(name, graph)
+        for k in range(graph.n_edges):
+            syn = syndrome_of(graph, [k])
+            assert dec.decode(syn) == graph.edges[k].frame, graph.edges[k]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["union_find", "union_find_unweighted"])
+    def test_dem_graph_single_faults_d5(self, name):
+        exp = MemoryExperiment(distance=5, basis="Z")
+        graph = exp.matching_graph(NoiseModel.uniform(1e-3))
+        dec = get_decoder(name, graph)
+        for k in range(graph.n_edges):
+            syn = syndrome_of(graph, [k])
+            assert dec.decode(syn) == graph.edges[k].frame, graph.edges[k]
+
+
+class TestLookupOracle:
+    """The exact table decoder anchors the union-find heuristics at d=3."""
+
+    def test_lookup_ler_not_worse_than_union_find(self, exp3):
+        noise = NoiseModel.uniform(1e-3)
+        samples = exp3.sample_frame(20000, noise=noise, seed=11)
+        raw = samples.observables[:, 0]
+        graph = exp3.matching_graph(noise)
+        fails = {}
+        for name in ("lookup", "union_find"):
+            pred = get_decoder(name, graph).decode_batch(samples.detectors)
+            fails[name] = int((raw ^ pred).sum())
+        # Exact minimum-weight decoding can only beat (or tie) the heuristic.
+        assert fails["lookup"] <= fails["union_find"]
+
+    def test_union_find_agrees_with_oracle_on_dense_syndromes(self, exp3):
+        graph = exp3.matching_graph(NoiseModel.uniform(1e-3))
+        oracle = get_decoder("lookup", graph)
+        uf = get_decoder("union_find", graph)
+        rng = np.random.default_rng(3)
+        syn = (rng.random((2000, exp3.n_detectors)) < 0.08).astype(np.uint8)
+        agreement = float((oracle.decode_batch(syn) == uf.decode_batch(syn)).mean())
+        assert agreement > 0.97
+
+
+class TestWeightedNotWorse:
+    """Acceptance: weighted LER <= unweighted at every standard sweep point."""
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_weighted_ler_not_worse(self, distance):
+        exp = MemoryExperiment(distance=distance, basis="Z")
+        models = [
+            NoiseModel.uniform(3e-4),
+            NoiseModel.uniform(1e-3),
+            NoiseModel.uniform(5e-3),
+            NoiseModel.preset("near_term"),
+        ]
+        for noise in models:
+            samples = exp.sample_frame(20000, noise=noise, seed=7)
+            raw = samples.observables[:, 0]
+            fails = {}
+            for name in ("union_find", "union_find_unweighted"):
+                pred = exp.decoder_for(noise, name).decode_batch(samples.detectors)
+                fails[name] = int((raw ^ pred).sum())
+            assert fails["union_find"] <= fails["union_find_unweighted"], (
+                distance,
+                noise.name,
+                fails,
+            )
+
+
+class TestDemGraph:
+    def test_rejects_hyperedges(self):
+        from repro.sim.dem import DetectorErrorModel
+
+        dem = DetectorErrorModel(
+            n_detectors=4,
+            n_observables=1,
+            probs=np.array([1e-3]),
+            detectors=[(0, 1, 2)],
+            observables=np.array([0], dtype=np.uint64),
+        )
+        with pytest.raises(ValueError, match="at most two"):
+            build_dem_graph(dem)
+
+    def test_rejects_bad_observable_index(self, exp3):
+        dem = exp3.detector_error_model(NoiseModel.uniform(1e-3))
+        with pytest.raises(ValueError, match="out of range"):
+            build_dem_graph(dem, observable=3)
+
+    def test_parallel_mechanisms_merge(self):
+        from repro.sim.dem import DetectorErrorModel
+
+        dem = DetectorErrorModel(
+            n_detectors=2,
+            n_observables=1,
+            probs=np.array([1e-3, 2e-3, 5e-4]),
+            detectors=[(0, 1), (0, 1), (0,)],
+            observables=np.array([0, 1, 0], dtype=np.uint64),
+        )
+        graph = build_dem_graph(dem)
+        assert graph.n_edges == 2
+        pair = next(e for e in graph.edges if e.v != BOUNDARY)
+        # XOR-combined probability, frame bit of the strongest contributor.
+        p = 1e-3 * (1 - 2e-3) + 2e-3 * (1 - 1e-3)
+        assert pair.frame == 1
+        assert pair.weight == pytest.approx(np.log((1 - p) / p))
+
+    def test_run_uses_weighted_decoder_and_reports_it(self, exp3):
+        noise = NoiseModel.uniform(1e-3)
+        report = exp3.run(200, noise=noise, engine="frame")
+        assert report.decoder == "union_find"
+        assert "decoder" in report.to_dict()
+        report_u = exp3.run(
+            200, noise=noise, engine="frame", decoder="union_find_unweighted"
+        )
+        assert report_u.decoder == "union_find_unweighted"
+
+    def test_dem_graph_cached_per_parameter_set(self, exp3):
+        a = exp3.matching_graph(NoiseModel.uniform(1e-3))
+        b = exp3.matching_graph(NoiseModel.uniform(1e-3))
+        c = exp3.matching_graph(NoiseModel.uniform(2e-3))
+        assert a is b
+        assert c is not a

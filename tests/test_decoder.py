@@ -145,3 +145,19 @@ class TestUnionFindDecoder:
         assert {ea.u, ea.v}.isdisjoint({eb.u, eb.v})
         syn = syndrome_of(graph, [a, b])
         assert dec.decode(syn) == frame_of(graph, [a, b])
+
+    def test_weighted_growth_prefers_cheap_paths(self):
+        # An expensive direct edge (frame 1) against two cheap boundary
+        # edges (frame 0): the weighted decoder routes the correction
+        # through the boundary, the unweighted one takes the direct edge.
+        graph = MatchingGraph(
+            2,
+            [
+                DetectorEdge(0, 1, frame=1, weight=10.0),
+                DetectorEdge(0, BOUNDARY, frame=0, weight=1.0),
+                DetectorEdge(1, BOUNDARY, frame=0, weight=1.0),
+            ],
+        )
+        syn = np.array([1, 1], dtype=np.uint8)
+        assert UnionFindDecoder(graph).decode(syn) == 0
+        assert UnionFindDecoder(graph, weighted=False).decode(syn) == 1
