@@ -6,8 +6,10 @@ Examples::
 
     tiscc compile --op MeasureZZ --dx 3 --dz 3 --rounds 1 --resources
     tiscc compile --op Idle --dx 5 --dz 5 --print-circuit
+    tiscc compile --op CNOT --dx 11 --dz 11 --resources --timings
     tiscc render --dx 3 --dz 3
     tiscc sweep --op Idle --distances 3 5 7
+    tiscc sweep --op CNOT --distances 3 5 7 9 11
     tiscc sample --op MeasureZZ --dx 3 --dz 3 --shots 500 --seed 1
     tiscc lfr --distances 3 5 --rates 3e-4 5e-3 --shots 1000
     tiscc lfr --distances 3 --noise near_term --shots 500
@@ -55,6 +57,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f"{compiled.logical_timesteps} logical time-step(s), "
         f"junction conflicts resolved: {compiler.grid.junction_conflicts}"
     )
+    if args.timings:
+        print(
+            f"# phase timings: compile {compiled.compile_seconds:.3f} s, "
+            f"validate {compiled.validate_seconds:.3f} s, "
+            f"estimate {compiled.estimate_seconds:.3f} s"
+        )
     if args.resources and compiled.resources:
         print(format_resource_table([compiled.resources]))
     if args.print_circuit:
@@ -306,6 +314,11 @@ def main(argv: list[str] | None = None) -> int:
     p_compile.add_argument("--rounds", type=int, default=None)
     p_compile.add_argument("--resources", action="store_true")
     p_compile.add_argument("--print-circuit", action="store_true")
+    p_compile.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-phase wall-clock timings (compile/validate/estimate)",
+    )
     p_compile.add_argument("--simulate", action="store_true")
     p_compile.add_argument("--seed", type=int, default=0)
     p_compile.set_defaults(fn=_cmd_compile)

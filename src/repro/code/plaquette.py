@@ -79,7 +79,22 @@ class Plaquette:
 
     # -------------------------------------------------------------- routing
     def path(self, src: int, dst: int) -> list[int]:
-        """Shortest path from src to dst through this face's private sites."""
+        """Shortest path from src to dst through this face's private sites.
+
+        The face graph is immutable, so results are memoized — syndrome
+        rounds re-request the same pocket-to-pocket hops every round.
+        """
+        cache = getattr(self, "_path_cache", None)
+        if cache is None:
+            cache = self._path_cache = {}
+        hit = cache.get((src, dst))
+        if hit is not None:
+            return hit
+        out = self._path_uncached(src, dst)
+        cache[(src, dst)] = out
+        return out
+
+    def _path_uncached(self, src: int, dst: int) -> list[int]:
         if src == dst:
             return [src]
         prev: dict[int, int] = {src: src}

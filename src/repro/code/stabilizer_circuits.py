@@ -28,6 +28,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.code.plaquette import Plaquette
 from repro.hardware.circuit import HardwareCircuit
 from repro.hardware.grid import GridManager, SiteBlockedError
@@ -50,8 +52,17 @@ class RoundRecord:
         return self.t_end - self.t_start
 
 
+#: Timing slack for template-replay eligibility (matches the validity EPS).
+_EPS = 1e-9
+
+
 class SyndromeScheduler:
     """Schedules rounds of syndrome extraction for sets of plaquettes."""
+
+    #: Class-wide default for QEC-round template replay (see
+    #: :meth:`schedule_rounds`); tests and benchmarks flip it to compare
+    #: against the round-by-round legacy path.
+    template_replay: bool = True
 
     def __init__(self, grid: GridManager, model: HardwareModel):
         self.grid = grid
@@ -223,10 +234,227 @@ class SyndromeScheduler:
         rounds: int,
         t_min: float = 0.0,
     ) -> list[RoundRecord]:
-        records = []
+        """``rounds`` rounds of error correction, template-replayed when safe.
+
+        Every round of syndrome extraction over a fixed plaquette set is a
+        time-shifted copy of the previous one, provided the round starts in
+        a *steady state*: every measure ion parked at home and no scheduled
+        history (ion clocks, site/junction calendars) extending past the
+        round's start time.  When those conditions hold — verified against
+        :attr:`GridManager.t_horizon` before compiling and against the ion
+        positions after — one round is compiled as a template and the
+        remaining ``rounds - 1`` are replayed by a vectorized time-offset +
+        measurement-relabel (:meth:`HardwareCircuit.replay_block`), instead
+        of re-walking the plaquette schedules.  The emitted instruction
+        stream is identical to the round-by-round path (locked down by
+        tests); set :attr:`template_replay` to ``False`` to force the
+        legacy loop.
+        """
+        grid = self.grid
+        records: list[RoundRecord] = []
         t = t_min
-        for _ in range(rounds):
+        r = 0
+        ions: set[int] | None = None
+        while r < rounds:
+            eligible = (
+                self.template_replay and rounds - r >= 2 and t + _EPS >= grid.t_horizon
+            )
+            if eligible:
+                if ions is None:
+                    ions = set(measure_ions.values())
+                    ions.update(
+                        data_ion_at[s] for p in plaquettes for s in p.data_sites.values()
+                    )
+                pos_before = {i: grid.site_of(i) for i in ions}
+                ready_before = {i: grid.ion_ready(i) for i in ions}
+            start = len(circuit)
+            delays_before = grid.site_delays
             rec = self.schedule_round(circuit, plaquettes, measure_ions, data_ion_at, t)
             records.append(rec)
             t = rec.t_end
+            r += 1
+            if eligible:
+                # The round is a reusable template only in *steady state*:
+                # every ion back where it started with its clock advanced by
+                # exactly the round duration, so the next round's schedule is
+                # this one shifted.  A round entered from a non-steady state
+                # (round 1 after a preparation or a merge) is still usable
+                # when its only entry-dependence is the known transient —
+                # data ions whose first visit is an X face open with a
+                # rotation pair anchored to their own free time — which
+                # :meth:`_transform_override` re-anchors per replica.
+                delta = rec.t_end - rec.t_start
+                assert ions is not None
+                home_again = all(grid.site_of(i) == pos_before[i] for i in ions)
+                steady = home_again and delta > 0 and all(
+                    abs(grid.ion_ready(i) - ready_before[i] - delta) <= _EPS
+                    for i in ions
+                )
+                override = None
+                if not steady and home_again and delta > 0:
+                    override = self._transform_override(
+                        circuit, (start, len(circuit)), data_ion_at,
+                        ready_before, delta, t
+                    )
+                if steady or override is not None:
+                    records.extend(
+                        self._replay_rounds(
+                            circuit,
+                            ions,
+                            template=rec,
+                            block=(start, len(circuit)),
+                            copies=rounds - r,
+                            site_delays=grid.site_delays - delays_before,
+                            override=None if steady else override,
+                        )
+                    )
+                    r = rounds
+        return records
+
+    def _transform_override(
+        self,
+        circuit: HardwareCircuit,
+        block: tuple[int, int],
+        data_ion_at: dict[int, int],
+        ready_before: dict[int, float],
+        delta: float,
+        t_end: float,
+    ):
+        """Re-anchoring data for replaying a *transient* first round.
+
+        A freshly entered round differs from the steady-state rounds that
+        follow it in exactly one way: a data ion whose first visit is an
+        X-face interaction opens with single-qubit rotations scheduled at
+        its own entry clock (``max(0, ready)`` anchoring), while every
+        other row's time is a function of the round start.  In round
+        ``k + 1`` those prefix rows start at the ion's end-of-round-``k``
+        clock instead.  This analysis finds every such prefix chain in the
+        template block and returns ``(block_positions, first-replica
+        times)`` for :meth:`HardwareCircuit.replay_block`, or ``None`` when
+        any of the safety conditions fails (in which case the caller simply
+        compiles the next round and templates from there):
+
+        * prefix chains consist of single-site rows on non-moving data
+          ions, exactly continuing the ion's entry clock, and terminate at
+          a two-site row (an ion that never interacts would re-anchor by
+          its chain length, not by the round duration);
+        * every re-anchored chain still finishes before the interaction
+          that absorbs it (``max`` keeps resolving to the measure-ion
+          side), and before every measure ion's phase-0 preparation ends
+          (so no layer barrier can resolve to a re-anchored clock).
+        """
+        start, stop = block
+        cols = circuit.columns()
+        site0 = cols.site0[start:stop].tolist()
+        site1 = cols.site1[start:stop].tolist()
+        ts = cols.t[start:stop].tolist()
+        durs = cols.duration[start:stop].tolist()
+        two_site = (cols.nsites[start:stop] == 2).tolist()
+        grid = self.grid
+        t_start = t_end - delta
+
+        entry_of = {}
+        for site, ion in data_ion_at.items():
+            ready = ready_before.get(ion)
+            if ready is not None:
+                entry_of[site] = (ion, ready)
+        # One walk over the block: grow each data site's entry-anchored
+        # prefix chain until a mismatching or two-site row absorbs it, and
+        # in parallel measure every *non-data* site's round-start-anchored
+        # opening chain (the measure ions' phase-0 preparations).
+        chain: dict[int, list[int]] = {}  # data site -> chain positions
+        clock: dict[int, float] = {}  # data site -> continued entry clock
+        absorbed: dict[int, float] = {}  # data site -> absorbing row start
+        phase0: dict[int, float] = {}  # non-data site -> t_min-anchored end
+        phase0_done: set[int] = set()
+        for p in range(len(ts)):
+            sites = (site0[p], site1[p]) if two_site[p] else (site0[p],)
+            for s in sites:
+                info = entry_of.get(s)
+                if info is None:
+                    if s in phase0_done:
+                        continue
+                    expected = phase0.get(s, t_start)
+                    if not two_site[p] and ts[p] == expected:
+                        phase0[s] = ts[p] + durs[p]
+                    else:
+                        phase0_done.add(s)
+                    continue
+                if s in absorbed:
+                    continue
+                expected = clock.get(s, info[1])
+                if not two_site[p] and ts[p] == expected:
+                    chain.setdefault(s, []).append(p)
+                    clock[s] = ts[p] + durs[p]
+                else:
+                    absorbed[s] = ts[p]  # first non-chain row touching s
+        if not chain or not phase0:
+            return None  # no recognizable transient to re-anchor
+        # No re-anchored chain may outlast the earliest measure-ion
+        # preparation, or a layer barrier (max over ion clocks) could
+        # resolve to a re-anchored clock and shift the whole layer.
+        phase0_floor = min(phase0.values())
+        positions: list[int] = []
+        times: list[float] = []
+        for s, rows in chain.items():
+            absorb = absorbed.get(s)
+            if absorb is None:
+                return None  # chain never interacts: re-anchoring diverges
+            ion = entry_of[s][0]
+            new_clock = grid.ion_ready(ion)  # end-of-template clock
+            if clock[s] > phase0_floor + _EPS:
+                return None
+            for p in rows:
+                positions.append(p)
+                times.append(new_clock)
+                new_clock += durs[p]
+            if new_clock > absorb + delta + _EPS:
+                return None  # the absorbing max() would flip sides
+            if new_clock > phase0_floor + delta + _EPS:
+                return None
+        return (
+            np.array(positions, dtype=np.int64),
+            np.array(times, dtype=np.float64),
+        )
+
+    def _replay_rounds(
+        self,
+        circuit: HardwareCircuit,
+        ions: set[int],
+        template: RoundRecord,
+        block: tuple[int, int],
+        copies: int,
+        site_delays: int,
+        override: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> list[RoundRecord]:
+        """Replay ``copies`` rounds from a compiled template block.
+
+        Replicates the instruction slice with vectorized time offsets and
+        fresh measurement labels (re-anchoring any transient prefix rows
+        via ``override``), then advances the grid's bookkeeping (ion
+        clocks, parked-since stamps, junction-conflict and site-delay
+        counters) exactly as the round-by-round path would have.
+        """
+        if copies < 1:
+            return []
+        delta = template.t_end - template.t_start
+        label_maps = circuit.replay_block(
+            block[0], block[1], copies, delta, override=override
+        )
+        records = []
+        for k, relabel in enumerate(label_maps, start=1):
+            records.append(
+                RoundRecord(
+                    outcome_labels={
+                        face: relabel[label]
+                        for face, label in template.outcome_labels.items()
+                    },
+                    t_start=template.t_start + k * delta,
+                    t_end=template.t_end + k * delta,
+                    junction_conflicts=template.junction_conflicts,
+                )
+            )
+        self.grid.shift_ions(ions, copies * delta)
+        self.grid.junction_conflicts += copies * template.junction_conflicts
+        self.grid.site_delays += copies * site_delays
         return records

@@ -13,6 +13,7 @@ circuit, validity report, resource estimate, and (optionally) a simulation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,6 +43,10 @@ class CompiledOperation:
     dz: int = 0
     validity: ValidityReport | None = None
     resources: ResourceReport | None = None
+    #: Wall-clock phase timings of :meth:`TISCC.compile`, in seconds.
+    compile_seconds: float = 0.0
+    validate_seconds: float = 0.0
+    estimate_seconds: float = 0.0
 
     @property
     def logical_timesteps(self) -> int:
@@ -81,11 +86,46 @@ class TISCC:
     def grid(self):
         return self.tiles.grid
 
-    def compile(self, program: list[tuple], operation: str = "") -> CompiledOperation:
-        """Execute a program, returning the compiled operation bundle."""
+    #: Mnemonic -> human-readable argument signature and accepted arity range.
+    SIGNATURES: dict[str, tuple[str, int, int]] = {
+        "PrepareZ": ("(tile)", 1, 1),
+        "PrepareX": ("(tile)", 1, 1),
+        "InjectY": ("(tile)", 1, 1),
+        "InjectT": ("(tile)", 1, 1),
+        "MeasureZ": ("(tile)", 1, 1),
+        "MeasureX": ("(tile)", 1, 1),
+        "PauliX": ("(tile)", 1, 1),
+        "PauliY": ("(tile)", 1, 1),
+        "PauliZ": ("(tile)", 1, 1),
+        "Hadamard": ("(tile)", 1, 1),
+        "Idle": ("(tile)", 1, 1),
+        "MeasureZZ": ("(tile_a, tile_b)", 2, 2),
+        "MeasureXX": ("(tile_a, tile_b)", 2, 2),
+        "BellPrepare": ("(tile_a, tile_b)", 2, 2),
+        "BellMeasure": ("(tile_a, tile_b)", 2, 2),
+        "Move": ("(tile, direction='right')", 1, 2),
+        "ExtendSplit": ("(tile, direction='right')", 1, 2),
+        "MergeContract": ("(tile_a, tile_b, keep='near')", 2, 3),
+        "PatchExtension": ("(tile, direction='right')", 1, 2),
+    }
+
+    def compile(
+        self,
+        program: list[tuple],
+        operation: str = "",
+        validate: bool = True,
+        estimate: bool = True,
+    ) -> CompiledOperation:
+        """Execute a program, returning the compiled operation bundle.
+
+        ``validate``/``estimate`` toggle the §3.3 validity replay and §3.4
+        resource estimation (both on by default); per-phase wall-clock
+        timings are recorded on the returned bundle.
+        """
         occ0 = self.tiles.occupancy_snapshot()
         circuit = HardwareCircuit()
         results = []
+        t0 = time.perf_counter()
         for step in program:
             mnemonic, *args = step
             results.append(self._dispatch(circuit, mnemonic, args))
@@ -97,10 +137,17 @@ class TISCC:
             dx=self.tiles.dx,
             dz=self.tiles.dz,
         )
-        compiled.validity = check_circuit(self.grid, circuit, occ0)
-        compiled.resources = estimate_resources(
-            self.grid, circuit, compiled.operation, self.tiles.dx, self.tiles.dz
-        )
+        compiled.compile_seconds = time.perf_counter() - t0
+        if validate:
+            t0 = time.perf_counter()
+            compiled.validity = check_circuit(self.grid, circuit, occ0)
+            compiled.validate_seconds = time.perf_counter() - t0
+        if estimate:
+            t0 = time.perf_counter()
+            compiled.resources = estimate_resources(
+                self.grid, circuit, compiled.operation, self.tiles.dx, self.tiles.dz
+            )
+            compiled.estimate_seconds = time.perf_counter() - t0
         return compiled
 
     def _dispatch(self, circuit, mnemonic: str, args) -> InstructionResult:
@@ -132,6 +179,12 @@ class TISCC:
             raise ValueError(
                 f"unknown mnemonic {mnemonic!r}; supported: {', '.join(self.MNEMONICS)}"
             ) from None
+        sig, lo, hi = self.SIGNATURES[mnemonic]
+        if not lo <= len(args) <= hi:
+            raise ValueError(
+                f"wrong number of arguments for {mnemonic!r}: got {len(args)}, "
+                f"expected {mnemonic}{sig}"
+            )
         return fn(*args)
 
     def simulate(

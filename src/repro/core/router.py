@@ -23,7 +23,38 @@ from typing import Callable
 from repro.core.derived import DerivedInstructions
 from repro.hardware.circuit import HardwareCircuit
 
-__all__ = ["CnotResult", "lattice_surgery_cnot", "BellChainResult", "bell_chain"]
+__all__ = [
+    "CnotResult",
+    "lattice_surgery_cnot",
+    "lattice_surgery_cnot_program",
+    "BellChainResult",
+    "bell_chain",
+]
+
+
+def lattice_surgery_cnot_program(
+    control: tuple[int, int] = (0, 0),
+    target: tuple[int, int] = (1, 1),
+    ancilla: tuple[int, int] = (0, 1),
+) -> list[tuple]:
+    """The CNOT as a mnemonic program for :meth:`repro.core.compiler.TISCC.compile`.
+
+    The step list mirrors :func:`lattice_surgery_cnot` on a 2x2 tile grid
+    (control/ancilla horizontally adjacent, ancilla/target vertically): it
+    is the multi-tile workload of the resource sweeps and the compile
+    benchmark (``tiscc compile --op CNOT``).  Frame bookkeeping (which
+    measurement signs owe which Pauli corrections) needs the callable
+    plumbing of :func:`lattice_surgery_cnot`; this program only compiles
+    the identical hardware circuit.
+    """
+    return [
+        ("PrepareZ", control),
+        ("PrepareZ", target),
+        ("PrepareX", ancilla),
+        ("MeasureZZ", control, ancilla),
+        ("MeasureXX", ancilla, target),
+        ("MeasureZ", ancilla),
+    ]
 
 
 @dataclass

@@ -29,6 +29,8 @@ non-Clifford schedules.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -49,6 +51,109 @@ from repro.sim.frame import FrameSampler, FrameSamples
 from repro.sim.noise import NoiseModel
 
 __all__ = ["MemoryExperiment"]
+
+
+@dataclass
+class _MemoryCore:
+    """The shareable compile-time state of one memory experiment.
+
+    Everything here is a pure function of ``(dx, dz, rounds, basis)`` — the
+    compiled circuit, detector layout, and schedule graph — plus the mutable
+    caches keyed by noise parameters.  Cached per key so repeated
+    :class:`MemoryExperiment` constructions (rate sweeps, CLI invocations,
+    benchmarks) compile each distance at most once per process.
+    """
+
+    compiler: TISCC
+    compiled: object
+    rounds: int
+    faces: list
+    logical_sites: set[int]
+    round_labels: list[list[str]]
+    final_labels: list[list[str]]
+    logical_value: object
+    observable_labels: list[str]
+    detector_labels: list[list[str]]
+    graph: MatchingGraph
+    fault_tables: dict = field(default_factory=dict)
+    dem_graphs: dict = field(default_factory=dict)
+
+
+#: (dx, dz, rounds, basis) -> compiled core, LRU-capped.
+_CORE_CACHE: OrderedDict[tuple, _MemoryCore] = OrderedDict()
+_CORE_CACHE_MAX = 32
+
+
+def _memory_core(dx: int, dz: int, rounds: int | None, basis: str) -> _MemoryCore:
+    key = (dx, dz, rounds if rounds is not None else max(dx, dz), basis)
+    core = _CORE_CACHE.get(key)
+    if core is not None:
+        _CORE_CACHE.move_to_end(key)
+        return core
+
+    compiler = TISCC(dx=dx, dz=dz, tile_rows=1, tile_cols=1, rounds=rounds)
+    program = [(f"Prepare{basis}", (0, 0)), (f"Measure{basis}", (0, 0))]
+    compiled = compiler.compile(program, operation=f"{basis}Memory")
+
+    patch = compiler.tiles[(0, 0)].patch
+    assert patch is not None
+    n_rounds = len(patch.round_records)
+    faces = [p for p in patch.plaquettes if p.pauli == basis]
+    logical = patch.logical_z if basis == "Z" else patch.logical_x
+    logical_sites = set(logical.pauli.support)
+
+    round_labels = [
+        [rec.outcome_labels[p.face] for p in faces] for rec in patch.round_records
+    ]
+    measure_result = compiled.results[-1]
+    site_label = {
+        patch.layout.data_site(*ij): label
+        for ij, label in measure_result.labels.items()
+    }
+    final_labels = [
+        [site_label[s] for s in sorted(p.data_sites.values())] for p in faces
+    ]
+    observable_labels = [site_label[s] for s in sorted(logical_sites)] + list(
+        logical.corrections
+    )
+    n_faces = len(faces)
+    detector_labels: list[list[str]] = []
+    for t in range(n_rounds + 1):
+        for f in range(n_faces):
+            if t == 0:
+                labels = [round_labels[0][f]]
+            elif t < n_rounds:
+                labels = [round_labels[t][f], round_labels[t - 1][f]]
+            else:
+                labels = final_labels[f] + [round_labels[t - 1][f]]
+            detector_labels.append(labels)
+
+    graph = build_memory_graph(
+        [set(p.data_sites.values()) for p in faces],
+        logical_sites,
+        n_rounds,
+        visit_layers=[
+            {p.data_sites[corner]: layer for layer, corner in p.visits()}
+            for p in faces
+        ],
+    )
+    core = _MemoryCore(
+        compiler=compiler,
+        compiled=compiled,
+        rounds=n_rounds,
+        faces=faces,
+        logical_sites=logical_sites,
+        round_labels=round_labels,
+        final_labels=final_labels,
+        logical_value=measure_result.value,
+        observable_labels=observable_labels,
+        detector_labels=detector_labels,
+        graph=graph,
+    )
+    _CORE_CACHE[key] = core
+    while len(_CORE_CACHE) > _CORE_CACHE_MAX:
+        _CORE_CACHE.popitem(last=False)
+    return core
 
 
 class MemoryExperiment:
@@ -86,75 +191,55 @@ class MemoryExperiment:
         if dx is None or dz is None:
             raise ValueError("give either distance or both dx and dz")
         self.basis = basis
-        self.compiler = TISCC(dx=dx, dz=dz, tile_rows=1, tile_cols=1, rounds=rounds)
-        program = [(f"Prepare{basis}", (0, 0)), (f"Measure{basis}", (0, 0))]
-        self.compiled = self.compiler.compile(program, operation=f"{basis}Memory")
-
-        patch = self.compiler.tiles[(0, 0)].patch
-        assert patch is not None
-        self.rounds = len(patch.round_records)
-        self.faces = [p for p in patch.plaquettes if p.pauli == basis]
-        logical = patch.logical_z if basis == "Z" else patch.logical_x
-        self.logical_sites = set(logical.pauli.support)
-
+        # Compilation, label extraction, and graph construction are shared
+        # per (dx, dz, rounds, basis) across every instance in the process:
+        # rate sweeps and repeated constructions pay for the compile once.
+        # The shared bundle is treated as immutable — code that mutates
+        # :attr:`compiled` (e.g. splicing instructions into the circuit)
+        # must call :meth:`clear_compile_cache` around the experiment to
+        # avoid leaking the mutation into later constructions.
+        core = _memory_core(dx, dz, rounds, basis)
+        self._core = core
+        self.compiler = core.compiler
+        self.compiled = core.compiled
+        self.rounds = core.rounds
+        self.faces = core.faces
+        self.logical_sites = core.logical_sites
         #: Face outcome labels per round, in face order: ``[round][face]``.
-        self.round_labels: list[list[str]] = [
-            [rec.outcome_labels[p.face] for p in self.faces]
-            for rec in patch.round_records
-        ]
-        measure_result = self.compiled.results[-1]
-        site_label = {
-            patch.layout.data_site(*ij): label
-            for ij, label in measure_result.labels.items()
-        }
+        self.round_labels: list[list[str]] = core.round_labels
         #: Final transversal data labels per face, in face order.
-        self.final_labels: list[list[str]] = [
-            [site_label[s] for s in sorted(p.data_sites.values())] for p in self.faces
-        ]
-        self._logical_value = measure_result.value
-
+        self.final_labels: list[list[str]] = core.final_labels
+        self._logical_value = core.logical_value
         #: Labels whose XOR parity is the logical readout: the transversal
         #: labels on the tracked logical's data support, plus any correction
         #: labels the operator ledger accumulated (empty for plain memory).
-        self.observable_labels: list[str] = [
-            site_label[s] for s in sorted(self.logical_sites)
-        ] + list(logical.corrections)
+        self.observable_labels: list[str] = core.observable_labels
         #: Per-detector label sets, id ``t * F + f`` matching :meth:`syndromes`:
         #: slice 0 is round 0 alone, slice t XORs rounds t/t-1, slice R XORs
         #: the recomputed final face parity against round R-1.
-        n_faces = len(self.faces)
-        self.detector_labels: list[list[str]] = []
-        for t in range(self.rounds + 1):
-            for f in range(n_faces):
-                if t == 0:
-                    labels = [self.round_labels[0][f]]
-                elif t < self.rounds:
-                    labels = [self.round_labels[t][f], self.round_labels[t - 1][f]]
-                else:
-                    labels = self.final_labels[f] + [self.round_labels[t - 1][f]]
-                self.detector_labels.append(labels)
-
+        self.detector_labels: list[list[str]] = core.detector_labels
         #: Fault tables cached per noise-structure key (footprints are
-        #: rate-independent, so a rate sweep extracts at most once).
-        self._fault_tables: dict[tuple, FaultTable] = {}
-
-        self.graph: MatchingGraph = build_memory_graph(
-            [set(p.data_sites.values()) for p in self.faces],
-            self.logical_sites,
-            self.rounds,
-            visit_layers=[
-                {p.data_sites[corner]: layer for layer, corner in p.visits()}
-                for p in self.faces
-            ],
-        )
+        #: rate-independent, so a rate sweep extracts at most once); shared
+        #: with every other instance of the same core.
+        self._fault_tables: dict[tuple, FaultTable] = core.fault_tables
+        self.graph: MatchingGraph = core.graph
         #: Default decoder name; validated here by building the schedule-
         #: graph decoder (kept on :attr:`decoder` for direct use).
         self.decoder_name = decoder
-        self.decoder: Decoder = get_decoder(decoder, self.graph)
         #: DEM-built matching graphs cached per noise-parameter key.
-        self._dem_graphs: dict[tuple, MatchingGraph] = {}
-        #: Built decoders cached per (name, graph key).
-        self._decoders: dict[tuple, Decoder] = {("schedule", decoder): self.decoder}
+        self._dem_graphs: dict[tuple, MatchingGraph] = core.dem_graphs
+        #: Built decoders cached per (name, graph key) — deliberately
+        #: *per instance*, never on the shared core: decoders carry mutable
+        #: scratch state, and the documented way to parallelize is one
+        #: experiment (hence one decoder) per worker.
+        self._decoders: dict[tuple, Decoder] = {}
+        self.decoder: Decoder = get_decoder(decoder, self.graph)
+        self._decoders[("schedule", decoder)] = self.decoder
+
+    @staticmethod
+    def clear_compile_cache() -> None:
+        """Drop every cached compiled memory experiment (mainly for tests)."""
+        _CORE_CACHE.clear()
 
     # ------------------------------------------------------------- plumbing
     @property

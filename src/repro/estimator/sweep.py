@@ -15,6 +15,7 @@ helps below a critical physical rate and hurts above it).
 from __future__ import annotations
 
 from repro.core.compiler import TISCC
+from repro.core.router import lattice_surgery_cnot_program
 from repro.estimator.report import LogicalErrorReport
 from repro.hardware.resources import ResourceReport
 from repro.sim.noise import NoiseModel
@@ -46,6 +47,7 @@ OPERATION_PROGRAMS: dict[str, tuple] = {
     "BellPrepare": (lambda: [("BellPrepare", (0, 0), (0, 1))], (1, 2)),
     "Move": (lambda: [("PrepareZ", (0, 0)), ("Move", (0, 0))], (1, 2)),
     "ExtendSplit": (lambda: [("PrepareZ", (0, 0)), ("ExtendSplit", (0, 0))], (1, 2)),
+    "CNOT": (lattice_surgery_cnot_program, (2, 2)),
 }
 
 

@@ -1,4 +1,4 @@
-"""Time-resolved hardware circuits.
+"""Time-resolved hardware circuits, stored column-wise.
 
 TISCC output circuits are lists of native instructions, each annotated with
 the qsites it acts on and the nominal start time at which it should occur
@@ -6,14 +6,66 @@ the qsites it acts on and the nominal start time at which it should occur
 operations that are done in parallel").  :class:`HardwareCircuit` is that
 container plus serialization to/from the text format consumed by the
 simulator's parser.
+
+Internally the circuit is a structure-of-arrays: gate names are interned to
+small integer codes, sites/times/durations live in parallel columns, and
+measurement labels sit in a sparse side table (row -> label).  Single
+instructions append onto plain-list column builders; bulk operations —
+most importantly :meth:`replay_block`, which the syndrome scheduler uses to
+replay a compiled QEC-round template as vectorized time-shifted copies —
+land as prebuilt array chunks, so a circuit that is mostly replayed rounds
+materializes its columns with a handful of concatenations.  The legacy
+object API (:meth:`append`, iteration, :meth:`sorted_instructions`,
+:meth:`to_text`) is preserved as views that build :class:`Instruction`
+objects on demand, while the validity checker, resource estimator, and
+simulation engines consume the columns directly (:meth:`columns`,
+:meth:`sorted_columns`) without any per-object iteration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-__all__ = ["Instruction", "HardwareCircuit"]
+import numpy as np
+
+__all__ = ["Instruction", "HardwareCircuit", "CircuitColumns"]
+
+# --------------------------------------------------------------------- names
+# Gate names are interned into one process-wide pool: circuits store int32
+# codes, and every circuit shares the same code -> name mapping.  The pool
+# only ever grows (a handful of native names plus whatever tests invent).
+_CODE_OF: dict[str, int] = {}
+_NAME_OF: list[str] = []
+
+
+def _intern(name: str) -> int:
+    code = _CODE_OF.get(name)
+    if code is None:
+        code = len(_NAME_OF)
+        _CODE_OF[name] = code
+        _NAME_OF.append(name)
+    return code
+
+
+_LOAD_CODE = _intern("Load")
+
+
+def name_code(name: str) -> int | None:
+    """The interned code for a gate name, or ``None`` if never seen.
+
+    Lets columnar consumers (validity checker, estimators) build masks by
+    integer comparison against :attr:`CircuitColumns.codes` instead of
+    string comparisons row by row.
+    """
+    return _CODE_OF.get(name)
+
+
+def _name_rank() -> np.ndarray:
+    """code -> rank of the name in lexicographic order (for sorting)."""
+    rank = np.empty(len(_NAME_OF), dtype=np.int32)
+    rank[np.argsort(np.array(_NAME_OF))] = np.arange(len(_NAME_OF), dtype=np.int32)
+    return rank
 
 
 @dataclass(frozen=True)
@@ -44,8 +96,83 @@ class Instruction:
         return " ".join(parts)
 
 
+@dataclass
+class CircuitColumns:
+    """A read-only columnar snapshot of a circuit (one row per instruction).
+
+    ``codes`` indexes the shared gate-name pool (decode via :attr:`names`);
+    ``site0``/``site1`` hold the first/second qsite with ``-1`` meaning
+    absent, ``nsites`` the true arity.  ``labels`` is the sparse
+    measurement-label side table (row -> label).  :attr:`names` and
+    :attr:`sites` are decoded lazily and cached — the replay engines index
+    them in tight loops without building :class:`Instruction` objects.
+    """
+
+    codes: np.ndarray
+    site0: np.ndarray
+    site1: np.ndarray
+    nsites: np.ndarray
+    t: np.ndarray
+    duration: np.ndarray
+    labels: dict[int, str] = field(default_factory=dict)
+
+    _names: list[str] | None = None
+    _sites: list[tuple[int, ...]] | None = None
+
+    @property
+    def n(self) -> int:
+        return len(self.codes)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def names(self) -> list[str]:
+        """Per-row gate names (decoded once, then cached)."""
+        if self._names is None:
+            pool = _NAME_OF
+            self._names = [pool[c] for c in self.codes.tolist()]
+        return self._names
+
+    @property
+    def sites(self) -> list[tuple[int, ...]]:
+        """Per-row site tuples (decoded once, then cached)."""
+        if self._sites is None:
+            s0 = self.site0.tolist()
+            s1 = self.site1.tolist()
+            ns = self.nsites.tolist()
+            self._sites = [
+                (a, b) if k == 2 else ((a,) if k == 1 else ())
+                for a, b, k in zip(s0, s1, ns)
+            ]
+        return self._sites
+
+    @property
+    def t_end(self) -> np.ndarray:
+        return self.t + self.duration
+
+    def instruction(self, i: int) -> Instruction:
+        """Materialize row ``i`` as an :class:`Instruction` (error paths)."""
+        return Instruction(
+            self.names[i], self.sites[i], float(self.t[i]), float(self.duration[i]),
+            self.labels.get(i),
+        )
+
+    def instructions(self) -> list[Instruction]:
+        names, sites, labels = self.names, self.sites, self.labels
+        ts, durs = self.t.tolist(), self.duration.tolist()
+        return [
+            Instruction(names[i], sites[i], ts[i], durs[i], labels.get(i))
+            for i in range(len(names))
+        ]
+
+
+#: One frozen block of rows: (codes, site0, site1, nsites, t, duration).
+_Chunk = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
 class HardwareCircuit:
-    """Append-only, time-annotated instruction stream.
+    """Append-only, time-annotated instruction stream (structure-of-arrays).
 
     Instructions may be appended out of time order (different ions progress
     independently during compilation); :meth:`sorted_instructions` and
@@ -54,8 +181,56 @@ class HardwareCircuit:
     """
 
     def __init__(self) -> None:
-        self._instructions: list[Instruction] = []
+        # Frozen array chunks (bulk appends) + live plain-list builders.
+        self._frozen: list[_Chunk] = []
+        self._frozen_len = 0
+        self._codes: list[int] = []
+        self._site0: list[int] = []
+        self._site1: list[int] = []
+        self._nsites: list[int] = []
+        self._t: list[float] = []
+        self._dur: list[float] = []
+        #: Sparse label table: append-order row index -> label.
+        self._label_of: dict[int, str] = {}
+        #: Rows with arity > 2 (never produced by the compiler, but the
+        #: container stays general): row index -> full site tuple.
+        self._extra_sites: dict[int, tuple[int, ...]] = {}
         self._measure_count = 0
+        # Cached derived views, invalidated on mutation.
+        self._cols: CircuitColumns | None = None
+        self._sorted_cols: CircuitColumns | None = None
+        self._sort_order: np.ndarray | None = None
+        self._sorted_instr: list[Instruction] | None = None
+        self._used_sites: set[int] | None = None
+
+    def _invalidate(self) -> None:
+        self._cols = None
+        self._sorted_cols = None
+        self._sort_order = None
+        self._sorted_instr = None
+        self._used_sites = None
+
+    def _freeze_builder(self) -> None:
+        """Move the live list builders into a frozen array chunk."""
+        if not self._codes:
+            return
+        self._frozen.append(
+            (
+                np.array(self._codes, dtype=np.int32),
+                np.array(self._site0, dtype=np.int64),
+                np.array(self._site1, dtype=np.int64),
+                np.array(self._nsites, dtype=np.int8),
+                np.array(self._t, dtype=np.float64),
+                np.array(self._dur, dtype=np.float64),
+            )
+        )
+        self._frozen_len += len(self._codes)
+        self._codes = []
+        self._site0 = []
+        self._site1 = []
+        self._nsites = []
+        self._t = []
+        self._dur = []
 
     # ------------------------------------------------------------------ build
     def append(
@@ -65,10 +240,25 @@ class HardwareCircuit:
         t: float,
         duration: float,
         label: str | None = None,
-    ) -> Instruction:
-        inst = Instruction(name, tuple(int(s) for s in sites), float(t), float(duration), label)
-        self._instructions.append(inst)
-        return inst
+    ) -> None:
+        """Append one instruction (hot path: a few column appends, no object)."""
+        sites = tuple(sites)
+        n = len(sites)
+        if n > 2:
+            self._extra_sites[self._frozen_len + len(self._codes)] = tuple(
+                int(s) for s in sites
+            )
+        if label is not None:
+            self._label_of[self._frozen_len + len(self._codes)] = label
+        code = _CODE_OF.get(name)
+        self._codes.append(_intern(name) if code is None else code)
+        self._site0.append(sites[0] if n >= 1 else -1)
+        self._site1.append(sites[1] if n >= 2 else -1)
+        self._nsites.append(n)
+        self._t.append(t)
+        self._dur.append(duration)
+        if self._cols is not None:
+            self._invalidate()
 
     def new_measure_label(self) -> str:
         label = f"m{self._measure_count}"
@@ -77,69 +267,252 @@ class HardwareCircuit:
 
     def extend(self, other: "HardwareCircuit") -> None:
         """Absorb another circuit's instructions (labels are not re-numbered)."""
-        self._instructions.extend(other._instructions)
+        offset = len(self)
+        self._freeze_builder()
+        other._freeze_builder()
+        self._frozen.extend(other._frozen)
+        self._frozen_len += other._frozen_len
+        for row, sites in other._extra_sites.items():
+            self._extra_sites[offset + row] = sites
+        for row, label in other._label_of.items():
+            self._label_of[offset + row] = label
         self._measure_count = max(self._measure_count, other._measure_count)
+        self._invalidate()
+
+    def replay_block(
+        self,
+        start: int,
+        stop: int,
+        copies: int,
+        dt: float,
+        override: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> list[dict[str, str]]:
+        """Append ``copies`` time-shifted replicas of rows ``[start, stop)``.
+
+        Copy ``k`` (1-based) is shifted by ``k * dt`` microseconds; labeled
+        rows receive fresh measurement labels from :meth:`new_measure_label`.
+        ``override`` — ``(block_positions, base_times)`` — re-anchors the
+        given block-relative rows instead: in copy ``k`` they start at
+        ``base_times + (k - 1) * dt`` (the syndrome scheduler uses this for
+        operations that anchor to an ion's own clock rather than the round
+        start).  Returns one ``{template label -> replica label}`` map per
+        copy.  The replicas are built as one tiled array chunk — this is
+        the QEC-round template-replay primitive.
+        """
+        if not (0 <= start <= stop <= len(self)):
+            raise ValueError(f"replay block [{start}, {stop}) out of range")
+        if any(start <= row < stop for row in self._extra_sites):
+            raise ValueError("cannot replay a block containing arity>2 rows")
+        if copies < 1 or start == stop:
+            return [{} for _ in range(max(copies, 0))]
+        cols = self.columns()
+        block = stop - start
+        chunk_start = len(self)
+        offsets = np.repeat(np.arange(1, copies + 1, dtype=np.float64) * dt, block)
+        tiled_t = np.tile(cols.t[start:stop], copies) + offsets
+        if override is not None:
+            positions, times = override
+            for c in range(copies):
+                tiled_t[c * block + positions] = times + c * dt
+        self._freeze_builder()
+        self._frozen.append(
+            (
+                np.tile(cols.codes[start:stop], copies),
+                np.tile(cols.site0[start:stop], copies),
+                np.tile(cols.site1[start:stop], copies),
+                np.tile(cols.nsites[start:stop], copies),
+                tiled_t,
+                np.tile(cols.duration[start:stop], copies),
+            )
+        )
+        self._frozen_len += block * copies
+        labeled = sorted(row for row in self._label_of if start <= row < stop)
+        maps: list[dict[str, str]] = []
+        for k in range(copies):
+            relabel: dict[str, str] = {}
+            for row in labeled:
+                new = self.new_measure_label()
+                relabel[self._label_of[row]] = new
+                self._label_of[chunk_start + k * block + (row - start)] = new
+            maps.append(relabel)
+        self._invalidate()
+        return maps
 
     # ------------------------------------------------------------------ query
     def __len__(self) -> int:
-        return len(self._instructions)
+        return self._frozen_len + len(self._codes)
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.sorted_instructions())
 
-    @property
-    def instructions(self) -> list[Instruction]:
-        """Instructions in append order (compile order, not time order)."""
-        return list(self._instructions)
+    def columns(self) -> CircuitColumns:
+        """Columnar snapshot in append order (compile order, not time order)."""
+        if self._cols is None:
+            self._freeze_builder()
+            chunks = self._frozen
+            if len(chunks) == 1:
+                parts = chunks[0]
+            elif chunks:
+                parts = tuple(
+                    np.concatenate([c[k] for c in chunks]) for k in range(6)
+                )
+                self._frozen = [parts]  # keep future snapshots cheap
+            else:
+                parts = (
+                    np.empty(0, dtype=np.int32),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int8),
+                    np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.float64),
+                )
+            self._cols = CircuitColumns(*parts, labels=self._label_of)
+            if self._extra_sites:
+                sites = self._cols.sites  # force decode, then patch arity>2 rows
+                for row, tup in self._extra_sites.items():
+                    sites[row] = tup
+        return self._cols
 
-    def sorted_instructions(self) -> list[Instruction]:
-        """Instructions ordered by start time — the executable stream.
+    def _order(self) -> np.ndarray:
+        """Execution order: by ``(t, Load-first, sites, name)``, stable.
 
         ``Load`` pseudo-instructions sort before anything else at the same
         timestamp so a freshly loaded ion exists before it is operated on.
+        The ``-1`` site sentinels sort below every real site index, which
+        reproduces tuple prefix ordering (``(s,) < (s, s')``) exactly.
         """
-        return sorted(
-            self._instructions,
-            key=lambda i: (i.t, 0 if i.name == "Load" else 1, i.sites, i.name),
-        )
+        if self._sort_order is None:
+            cols = self.columns()
+            if self._extra_sites:
+                # Rare general-arity path: defer to the reference sort key.
+                instrs = cols.instructions()
+                self._sort_order = np.array(
+                    sorted(
+                        range(len(instrs)),
+                        key=lambda i: (
+                            instrs[i].t,
+                            0 if instrs[i].name == "Load" else 1,
+                            instrs[i].sites,
+                            instrs[i].name,
+                        ),
+                    ),
+                    dtype=np.int64,
+                )
+            else:
+                rank = _name_rank()[cols.codes].astype(np.int64)
+                load = np.where(cols.codes == _LOAD_CODE, np.int64(0), np.int64(1))
+                max_site = max(
+                    int(cols.site0.max(initial=-1)), int(cols.site1.max(initial=-1))
+                )
+                if max_site + 1 < (1 << 21) and len(_NAME_OF) < (1 << 10):
+                    # Fold the four tie-break keys into one int64 (load-
+                    # first, site0, site1, name rank — 1+21+21+10 bits) so
+                    # the sort is a two-key lexsort with time as primary.
+                    tiebreak = (
+                        (load << np.int64(52))
+                        | ((cols.site0 + 1) << np.int64(31))
+                        | ((cols.site1 + 1) << np.int64(10))
+                        | rank
+                    )
+                    self._sort_order = np.lexsort((tiebreak, cols.t))
+                else:  # pragma: no cover - gigantic grids only
+                    self._sort_order = np.lexsort(
+                        (rank, cols.site1, cols.site0, load, cols.t)
+                    )
+        return self._sort_order
+
+    def sorted_columns(self) -> CircuitColumns:
+        """Columnar snapshot in execution order — the hot-path view."""
+        if self._sorted_cols is None:
+            cols = self.columns()
+            order = self._order()
+            labels: dict[int, str] = {}
+            if cols.labels:
+                inverse = np.empty(cols.n, dtype=np.int64)
+                inverse[order] = np.arange(cols.n, dtype=np.int64)
+                for row, label in cols.labels.items():
+                    labels[int(inverse[row])] = label
+            sorted_cols = CircuitColumns(
+                codes=cols.codes[order],
+                site0=cols.site0[order],
+                site1=cols.site1[order],
+                nsites=cols.nsites[order],
+                t=cols.t[order],
+                duration=cols.duration[order],
+                labels=labels,
+            )
+            if self._extra_sites:
+                all_sites = cols.sites
+                sorted_cols._sites = [all_sites[i] for i in order.tolist()]
+            self._sorted_cols = sorted_cols
+        return self._sorted_cols
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        """Instructions in append order (compile order, not time order)."""
+        return self.columns().instructions()
+
+    def sorted_instructions(self) -> list[Instruction]:
+        """Instructions ordered by start time — the executable stream."""
+        if self._sorted_instr is None:
+            self._sorted_instr = self.sorted_columns().instructions()
+        return list(self._sorted_instr)
 
     @property
     def makespan(self) -> float:
         """Total execution time in µs (latest instruction end)."""
-        if not self._instructions:
+        if not len(self):
             return 0.0
-        return max(i.t_end for i in self._instructions)
+        cols = self.columns()
+        return float((cols.t + cols.duration).max())
 
     @property
     def t_start(self) -> float:
-        if not self._instructions:
+        if not len(self):
             return 0.0
-        return min(i.t for i in self._instructions)
+        return float(self.columns().t.min())
 
     def used_sites(self) -> set[int]:
-        sites: set[int] = set()
-        for inst in self._instructions:
-            sites.update(inst.sites)
-        return sites
+        if self._used_sites is None:
+            cols = self.columns()
+            sites = np.unique(np.concatenate([cols.site0, cols.site1]))
+            used = set(sites[sites >= 0].tolist())
+            for tup in self._extra_sites.values():
+                used.update(tup)
+            self._used_sites = used
+        return set(self._used_sites)
 
     def count(self, name: str) -> int:
-        return sum(1 for i in self._instructions if i.name == name)
+        code = _CODE_OF.get(name)
+        if code is None or not len(self):
+            return 0
+        return int((self.columns().codes == code).sum())
 
     def gate_histogram(self) -> dict[str, int]:
-        hist: dict[str, int] = {}
-        for inst in self._instructions:
-            hist[inst.name] = hist.get(inst.name, 0) + 1
+        if not len(self):
+            return {}
+        counts = np.bincount(self.columns().codes, minlength=len(_NAME_OF))
+        hist = {_NAME_OF[c]: int(n) for c, n in enumerate(counts) if n > 0}
         return dict(sorted(hist.items()))
 
     def measurements(self) -> list[Instruction]:
-        return [i for i in self.sorted_instructions() if i.label is not None]
+        cols = self.sorted_columns()
+        return [cols.instruction(i) for i in sorted(cols.labels)]
 
     # -------------------------------------------------------------- serialize
     def to_text(self, header: str | None = None) -> str:
         lines = []
         if header:
             lines.append(f"# {header}")
-        lines += [inst.to_text() for inst in self.sorted_instructions()]
+        cols = self.sorted_columns()
+        names, sites, labels = cols.names, cols.sites, cols.labels
+        ts = cols.t.tolist()
+        for i in range(cols.n):
+            parts = [names[i], *map(str, sites[i]), f"@{ts[i]:.3f}"]
+            label = labels.get(i)
+            if label is not None:
+                parts += ["->", label]
+            lines.append(" ".join(parts))
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.hardware.circuit import HardwareCircuit
 from repro.util.geometry import SiteType, site_exists, site_type_at
 
@@ -85,6 +87,21 @@ class GridManager:
         self.junction_conflicts = 0
         #: Count of moves delayed by transient site reservations.
         self.site_delays = 0
+        #: Latest time any committed schedule state (ion clocks, site or
+        #: junction calendar intervals) extends to.  A block of work starting
+        #: at ``t >= t_horizon`` cannot be perturbed by history, which is the
+        #: eligibility condition for QEC-round template replay.
+        self.t_horizon = 0.0
+
+        # --- geometry caches (built lazily; the grid is immutable) --------
+        self._zone_mask_arr: "np.ndarray | None" = None
+        self._zone_list: list[bool] | None = None
+        self._neighbor_table: list[list[int]] | None = None
+        self._junction_map: dict[tuple[int, int], int] | None = None
+        # Highest interval end per site/junction calendar: lets the common
+        # "no history can overlap" case skip the interval scan entirely.
+        self._site_busy_horizon: dict[int, float] = {}
+        self._junction_busy_horizon: dict[int, float] = {}
 
     # ------------------------------------------------------------- geometry
     def index(self, r: int, c: int) -> int:
@@ -103,29 +120,79 @@ class GridManager:
         r, c = self.coords(site)
         return site_type_at(r, c)
 
+    def zone_mask(self) -> np.ndarray:
+        """``(n_positions,)`` bool array: True where a site is a trapping zone.
+
+        Built once per grid (the geometry is immutable); shared by the
+        vectorized validity checker and resource estimator.
+        """
+        if self._zone_mask_arr is None:
+            mask = np.zeros(self.n_positions, dtype=bool)
+            for r in range(self.height):
+                base = r * self.width
+                for c in range(self.width):
+                    if site_exists(r, c) and site_type_at(r, c) is not SiteType.JUNCTION:
+                        mask[base + c] = True
+            self._zone_mask_arr = mask
+        return self._zone_mask_arr
+
+    def _neighbors_of(self) -> list[list[int]]:
+        if self._neighbor_table is None:
+            width, height = self.width, self.height
+            table: list[list[int]] = [[] for _ in range(self.n_positions)]
+            for r in range(height):
+                for c in range(width):
+                    if not site_exists(r, c):
+                        continue
+                    out = table[r * width + c]
+                    for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+                        if 0 <= rr < height and 0 <= cc < width and site_exists(rr, cc):
+                            out.append(rr * width + cc)
+            self._neighbor_table = table
+        return self._neighbor_table
+
     def is_zone(self, site: int) -> bool:
-        return self.site_type(site) is not SiteType.JUNCTION
+        if self._zone_list is None:
+            self._zone_list = self.zone_mask().tolist()
+        if not (0 <= site < self.n_positions):
+            raise ValueError(f"qsite {site} out of range")
+        return self._zone_list[site]
 
     def neighbors(self, site: int) -> list[int]:
         """Lattice-adjacent existing sites (including junctions)."""
-        r, c = self.coords(site)
-        out = []
-        for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
-            if 0 <= rr < self.height and 0 <= cc < self.width and site_exists(rr, cc):
-                out.append(rr * self.width + cc)
-        return out
+        if not (0 <= site < self.n_positions):
+            raise ValueError(f"qsite {site} out of range")
+        return self._neighbors_of()[site]
 
     def adjacent_zones(self, site: int) -> list[int]:
-        return [s for s in self.neighbors(site) if self.is_zone(s)]
+        mask = self.zone_mask()
+        return [s for s in self.neighbors(site) if mask[s]]
 
     def junction_between(self, a: int, b: int) -> int | None:
-        """The junction adjacent to both zones ``a`` and ``b``, if any."""
+        """The junction adjacent to both zones ``a`` and ``b``, if any.
+
+        Resolved from a lazily-built lookup of every (zone, zone) pair
+        flanking a junction; ties (diagonal pairs reachable through two
+        junctions) keep the first junction in neighbor order, matching the
+        original scan.
+        """
+        if self._junction_map is None:
+            mask = self.zone_mask()
+            table = self._neighbors_of()
+            jmap: dict[tuple[int, int], int] = {}
+            for za in range(self.n_positions):
+                if not mask[za]:
+                    continue
+                for j in table[za]:  # neighbor order = the original scan order
+                    if mask[j]:
+                        continue
+                    for zb in table[j]:
+                        if zb != za and mask[zb]:
+                            jmap.setdefault((za, zb), j)
+            self._junction_map = jmap
         if not (self.is_zone(a) and self.is_zone(b)):
             return None
-        for j in self.neighbors(a):
-            if self.site_type(j) is SiteType.JUNCTION and b in self.neighbors(j):
-                return j
-        return None
+        return self._junction_map.get((a, b))
 
     def gate_adjacent(self, a: int, b: int) -> bool:
         """Two-qubit gates act between lattice-adjacent trapping zones."""
@@ -162,6 +229,7 @@ class GridManager:
         self._occupied_since[site] = t
         self._ion_ready[ion] = t
         self._ion_tag[ion] = tag
+        self.t_horizon = max(self.t_horizon, t)
         return ion
 
     def load_ion(
@@ -193,7 +261,8 @@ class GridManager:
         del self._occupant[site]
         since = self._occupied_since.pop(site)
         end = self._ion_ready[ion] if t is None else max(t, since)
-        self._site_busy.setdefault(site, []).append((since, end))
+        self._commit_site(site, since, end)
+        self.t_horizon = max(self.t_horizon, end)
         del self._ion_ready[ion]
         del self._ion_tag[ion]
 
@@ -287,12 +356,14 @@ class GridManager:
 
     # ---------------------------------------------------------- scheduling
     def _reserve_site(self, site: int, t: float, dur: float) -> float:
-        intervals = self._site_busy.setdefault(site, [])
-        start = _earliest_slot(intervals, t, dur)
-        return start
+        if t >= self._site_busy_horizon.get(site, 0.0):
+            return t  # every recorded interval ends at or before t
+        return _earliest_slot(self._site_busy.setdefault(site, []), t, dur)
 
     def _commit_site(self, site: int, t0: float, t1: float) -> None:
         self._site_busy.setdefault(site, []).append((t0, t1))
+        if t1 > self._site_busy_horizon.get(site, 0.0):
+            self._site_busy_horizon[site] = t1
 
     def schedule_move(
         self,
@@ -332,13 +403,18 @@ class GridManager:
         t = t_site
         if junction is not None:
             intervals = self._junction_busy.setdefault(junction, [])
-            t_junction = _earliest_slot(intervals, t, dur)
+            if t >= self._junction_busy_horizon.get(junction, 0.0):
+                t_junction = t  # no recorded crossing extends past t
+            else:
+                t_junction = _earliest_slot(intervals, t, dur)
             if t_junction > t:
                 self.junction_conflicts += 1
                 # Re-check the destination slot at the pushed-back time.
                 t_junction = self._reserve_site(dst, t_junction, dur)
             t = t_junction
             intervals.append((t, t + dur))
+            if t + dur > self._junction_busy_horizon.get(junction, 0.0):
+                self._junction_busy_horizon[junction] = t + dur
 
         # Close out the origin occupancy (held through the transit) and park
         # the ion on the destination from the start of the transit.
@@ -349,6 +425,7 @@ class GridManager:
         self._occupied_since[dst] = t
         self._site_of[ion] = dst
         self._ion_ready[ion] = t + dur
+        self.t_horizon = max(self.t_horizon, t + dur)
         circuit.append("Move", (src, dst), t, dur)
         return (t, t + dur)
 
@@ -396,6 +473,7 @@ class GridManager:
         site = self._site_of[ion]
         circuit.append(name, (site,), t, duration, label)
         self._ion_ready[ion] = t + duration
+        self.t_horizon = max(self.t_horizon, t + duration)
         return (t, t + duration)
 
     def schedule_gate2(
@@ -418,6 +496,7 @@ class GridManager:
         circuit.append(name, (site_a, site_b), t, duration)
         self._ion_ready[ion_a] = t + duration
         self._ion_ready[ion_b] = t + duration
+        self.t_horizon = max(self.t_horizon, t + duration)
         return (t, t + duration)
 
     def sync_ions(self, ions: Iterable[int], t_min: float = 0.0) -> float:
@@ -426,7 +505,24 @@ class GridManager:
         t = max([t_min] + [self._ion_ready[i] for i in ions])
         for i in ions:
             self._ion_ready[i] = t
+        self.t_horizon = max(self.t_horizon, t)
         return t
+
+    def shift_ions(self, ions: Iterable[int], dt: float) -> None:
+        """Advance clocks after a replayed block of scheduled work.
+
+        Used by QEC-round template replay: the listed ions' ready times and
+        parked-since stamps move forward by ``dt`` as if the replicated
+        rounds had been scheduled move by move.  Calendar intervals inside
+        the replayed span are *not* recorded — they lie entirely before the
+        new horizon, where they can no longer influence scheduling.
+        """
+        if dt <= 0:
+            return
+        for ion in ions:
+            self._ion_ready[ion] += dt
+            self._occupied_since[self._site_of[ion]] += dt
+            self.t_horizon = max(self.t_horizon, self._ion_ready[ion])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.circuit import HardwareCircuit
 from repro.hardware.grid import GridManager
 from repro.util.geometry import ZONE_PITCH_M
@@ -79,29 +81,33 @@ def estimate_resources(
     dx: int = 0,
     dz: int = 0,
 ) -> ResourceReport:
-    """Compute the §3.4 resource figures from a time-resolved circuit."""
-    instructions = circuit.instructions
-    if instructions:
-        t0 = min(i.t for i in instructions)
-        t1 = max(i.t_end for i in instructions)
-        time_s = (t1 - t0) * 1e-6
+    """Compute the §3.4 resource figures from a time-resolved circuit.
+
+    Everything is reduced directly from the circuit's columns: the time
+    span and active zone-seconds are array reductions, the bounding box
+    comes from vectorized site-coordinate min/max, the zone count from the
+    grid's cached zone mask, and the gate histogram from a ``bincount``
+    over the interned gate codes.
+    """
+    cols = circuit.columns()
+    if cols.n:
+        time_s = float((cols.t + cols.duration).max() - cols.t.min()) * 1e-6
     else:
         time_s = 0.0
 
-    sites = circuit.used_sites()
-    if sites:
-        coords = [grid.coords(s) for s in sites]
-        r0 = min(r for r, _ in coords)
-        r1 = max(r for r, _ in coords)
-        c0 = min(c for _, c in coords)
-        c1 = max(c for _, c in coords)
+    sites = np.fromiter(circuit.used_sites(), dtype=np.int64, count=-1)
+    if len(sites):
+        r, c = np.divmod(sites, grid.width)
+        r0, r1 = int(r.min()), int(r.max())
+        c0, c1 = int(c.min()), int(c.max())
         area = ((r1 - r0 + 1) * ZONE_PITCH_M) * ((c1 - c0 + 1) * ZONE_PITCH_M)
-        zones = grid.zones_in_bbox(r0, c0, r1, c1)
+        zone_grid = grid.zone_mask().reshape(grid.height, grid.width)
+        zones = int(zone_grid[r0 : r1 + 1, c0 : c1 + 1].sum())
     else:
         area = 0.0
         zones = 0
 
-    active = sum(i.duration * len(i.sites) for i in instructions) * 1e-6
+    active = float((cols.duration * cols.nsites).sum()) * 1e-6
 
     return ResourceReport(
         operation=operation,
@@ -113,6 +119,6 @@ def estimate_resources(
         n_trapping_zones=zones,
         zone_seconds=zones * time_s,
         active_zone_seconds=active,
-        n_instructions=len(instructions),
+        n_instructions=cols.n,
         gate_histogram=circuit.gate_histogram(),
     )

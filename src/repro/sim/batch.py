@@ -244,37 +244,43 @@ class BatchRunner:
             shared = np.random.default_rng(seed)
             measure_rng = shared
 
-        instructions = circuit.sorted_instructions()
+        cols = circuit.sorted_columns()
+        names, sites_of, labels = cols.names, cols.sites, cols.labels
+        starts = cols.t.tolist()
+        ends = cols.t_end.tolist()
+        durations = cols.duration.tolist()
         for entries in pending_injections.values():
             for inj in entries:
-                if not 0 <= inj.index < len(instructions):
+                if not 0 <= inj.index < cols.n:
                     raise ValueError(
-                        f"injection index {inj.index} outside circuit of {len(instructions)}"
+                        f"injection index {inj.index} outside circuit of {cols.n}"
                     )
                 if inj.shot is not None and not 0 <= inj.shot < n_shots:
                     raise ValueError(
                         f"injection shot {inj.shot} outside batch of {n_shots}"
                     )
-        for idx, inst in enumerate(instructions):
-            qubits = resolve_qubits(inst, occupancy, ion_index)
+        for idx in range(cols.n):
+            name = names[idx]
+            sites = sites_of[idx]
+            qubits = resolve_qubits(name, sites, occupancy, ion_index)
 
             for inj in pending_injections.get((idx, "before"), ()):
                 self._inject(tableau, inj)
 
             if busy_until is not None and noise_rng is not None:
                 for q in qubits:
-                    gap = inst.t - busy_until[q]
+                    gap = starts[idx] - busy_until[q]
                     if gap > 0:
                         noise.apply_idle_dephasing(tableau, q, gap, noise_rng)
 
-            if inst.name == "Load":
-                apply_load(inst, occupancy, ion_index, tableau.n)
-            elif inst.name == "Move":
-                apply_move(inst, occupancy)
-            elif inst.name == "Prepare_Z":
+            if name == "Load":
+                apply_load(sites[0], occupancy, ion_index, tableau.n)
+            elif name == "Move":
+                apply_move(sites[0], sites[1], occupancy)
+            elif name == "Prepare_Z":
                 tableau.reset(qubits[0], measure_rng)
-            elif inst.name == "Measure_Z":
-                label = inst.label or f"m?{idx}"
+            elif name == "Measure_Z":
+                label = labels.get(idx) or f"m?{idx}"
                 out, det = tableau.measure(
                     qubits[0], measure_rng, forced=forced.get(label)
                 )
@@ -284,26 +290,26 @@ class BatchRunner:
                     out = noise.flip_outcomes(out, noise_rng)
                 outcomes[label] = out
                 deterministic[label] = det
-            elif inst.name in NON_CLIFFORD_GATES:
+            elif name in NON_CLIFFORD_GATES:
                 if independent_streams:
-                    drawn = [self.sampler.sample(inst.name, rngs[k]) for k in range(n_shots)]
+                    drawn = [self.sampler.sample(name, rngs[k]) for k in range(n_shots)]
                     gates = [g for g, _ in drawn]
                     weights *= np.array([w for _, w in drawn])
                 else:
-                    gates, factors = self.sampler.sample_batch(inst.name, shared, n_shots)
+                    gates, factors = self.sampler.sample_batch(name, shared, n_shots)
                     weights *= factors
                 self._apply_substitutes(tableau, gates, tuple(qubits))
             else:
-                apply_packed(tableau, inst.name, tuple(qubits))
+                apply_packed(tableau, name, tuple(qubits))
 
             for inj in pending_injections.get((idx, "after"), ()):
                 self._inject(tableau, inj)
 
             if noise_rng is not None and qubits:
-                noise.apply_operation_noise(tableau, inst, qubits, noise_rng)
+                noise.apply_operation_noise(tableau, name, durations[idx], qubits, noise_rng)
                 if busy_until is not None:
                     for q in qubits:
-                        busy_until[q] = inst.t_end
+                        busy_until[q] = ends[idx]
 
         return BatchResult(
             tableau=tableau,

@@ -168,22 +168,27 @@ def enumerate_fault_sites(
     busy_until = np.zeros(n_qubits) if tracks_idle else None
     sites: list[FaultSite] = []
 
-    for idx, inst in enumerate(circuit.sorted_instructions()):
-        qubits = resolve_qubits(inst, occupancy, ion_index)
+    cols = circuit.sorted_columns()
+    names, qsites, labels = cols.names, cols.sites, cols.labels
+    starts = cols.t.tolist()
+    ends = cols.t_end.tolist()
+    durations = cols.duration.tolist()
+    for idx in range(cols.n):
+        name = names[idx]
+        qubits = resolve_qubits(name, qsites[idx], occupancy, ion_index)
 
         if busy_until is not None:
             for q in qubits:
-                gap = inst.t - busy_until[q]
+                gap = starts[idx] - busy_until[q]
                 if gap > 0:
                     sites.append(
                         FaultSite(idx, "before", "idle", ((q, "Z"),), duration_us=float(gap))
                     )
 
-        name = inst.name
         if name == "Load":
-            apply_load(inst, occupancy, ion_index, n_qubits)
+            apply_load(qsites[idx][0], occupancy, ion_index, n_qubits)
         elif name == "Move":
-            apply_move(inst, occupancy)
+            apply_move(qsites[idx][0], qsites[idx][1], occupancy)
 
         if not qubits:
             continue
@@ -205,14 +210,14 @@ def enumerate_fault_sites(
                 sites.append(FaultSite(idx, "after", "prep", ((qubits[0], "X"),)))
         elif name == "Measure_Z":
             if params.p_meas > 0:
-                label = inst.label or f"m?{idx}"
+                label = labels.get(idx) or f"m?{idx}"
                 sites.append(FaultSite(idx, "record", "readout", (), label=label))
 
         # Duration-derived dephasing after every timed operation except
         # preparation (no coherence yet) and measurement (unobservable) —
         # the exact control flow of NoiseModel.apply_operation_noise.
-        if tracks_idle and name not in ("Prepare_Z", "Measure_Z") and inst.duration > 0:
-            duration = float(inst.duration)
+        if tracks_idle and name not in ("Prepare_Z", "Measure_Z") and durations[idx] > 0:
+            duration = durations[idx]
             for q in qubits:
                 sites.append(
                     FaultSite(idx, "after", "dephase", ((q, "Z"),), duration_us=duration)
@@ -220,7 +225,7 @@ def enumerate_fault_sites(
 
         if busy_until is not None:
             for q in qubits:
-                busy_until[q] = inst.t_end
+                busy_until[q] = ends[idx]
 
     return sites
 
@@ -261,22 +266,24 @@ def _propagate_frames(
             if letter in ("Z", "Y"):
                 z[q, w] ^= bit
 
-    for idx, inst in enumerate(circuit.sorted_instructions()):
-        qubits = resolve_qubits(inst, occupancy, ion_index)
+    cols = circuit.sorted_columns()
+    names, qsites, labels = cols.names, cols.sites, cols.labels
+    for idx in range(cols.n):
+        name = names[idx]
+        qubits = resolve_qubits(name, qsites[idx], occupancy, ion_index)
         for s, site in pending.get((idx, "before"), ()):
             inject(s, site)
 
-        name = inst.name
         if name == "Load":
-            apply_load(inst, occupancy, ion_index, n_qubits)
+            apply_load(qsites[idx][0], occupancy, ion_index, n_qubits)
         elif name == "Move":
-            apply_move(inst, occupancy)
+            apply_move(qsites[idx][0], qsites[idx][1], occupancy)
         elif name == "Prepare_Z":
             q = qubits[0]
             x[q] = 0
             z[q] = 0
         elif name == "Measure_Z":
-            label_flips[inst.label or f"m?{idx}"] = x[qubits[0]].copy()
+            label_flips[labels.get(idx) or f"m?{idx}"] = x[qubits[0]].copy()
         elif name in _FRAME_PHASE:
             q = qubits[0]
             z[q] ^= x[q]

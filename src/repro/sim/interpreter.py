@@ -45,35 +45,41 @@ def init_run_state(
     if len(ions) != len(initial_occupancy):
         raise ValueError("occupancy maps two sites to one ion")
     ion_index = {ion: k for k, ion in enumerate(ions)}
-    n_loads = sum(1 for i in circuit.instructions if i.name == "Load")
+    n_loads = circuit.count("Load")
     return dict(initial_occupancy), ion_index, max(1, len(ions) + n_loads)
 
 
-def resolve_qubits(inst, occupancy: dict[int, int], ion_index: dict[int, int]) -> list[int]:
+def resolve_qubits(
+    name: str,
+    sites: tuple[int, ...],
+    occupancy: dict[int, int],
+    ion_index: dict[int, int],
+) -> list[int]:
     """Tableau qubits an instruction acts on, given the current occupancy.
 
-    Shared by the single-shot interpreter and the batched runner so the
-    hardware-model semantics (Move destinations may be empty, Load targets
-    must be) cannot diverge between the two engines.
+    Shared by the single-shot interpreter, the batched runner, and the DEM
+    extraction walks so the hardware-model semantics (Move destinations may
+    be empty, Load targets must be) cannot diverge between the engines.
+    Takes the columnar row fields directly — no Instruction object needed.
     """
     qubits = []
-    for site in inst.sites:
-        if inst.name == "Move" and site == inst.sites[1]:
+    for site in sites:
+        if name == "Move" and site == sites[1]:
             continue  # move destination need not be occupied
-        if inst.name == "Load":
+        if name == "Load":
             continue  # load target must be *empty*
         ion = occupancy.get(site)
         if ion is None:
-            raise ValueError(
-                f"instruction {inst.to_text()!r} targets empty qsite {site}"
-            )
+            text = " ".join([name, *map(str, sites)])
+            raise ValueError(f"instruction {text!r} targets empty qsite {site}")
         qubits.append(ion_index[ion])
     return qubits
 
 
-def apply_load(inst, occupancy: dict[int, int], ion_index: dict[int, int], n_slots: int) -> None:
+def apply_load(
+    site: int, occupancy: dict[int, int], ion_index: dict[int, int], n_slots: int
+) -> None:
     """Allocate a fresh ion for a Load pseudo-instruction (shared semantics)."""
-    (site,) = inst.sites
     if site in occupancy:
         raise ValueError(f"Load onto occupied qsite {site}")
     new_ion = (max(ion_index) + 1) if ion_index else 0
@@ -85,9 +91,8 @@ def apply_load(inst, occupancy: dict[int, int], ion_index: dict[int, int], n_slo
     occupancy[site] = new_ion
 
 
-def apply_move(inst, occupancy: dict[int, int]) -> None:
+def apply_move(src: int, dst: int, occupancy: dict[int, int]) -> None:
     """Relocate the ion for a Move pseudo-instruction (shared semantics)."""
-    src, dst = inst.sites
     if dst in occupancy:
         raise ValueError(f"move into occupied qsite {dst}")
     occupancy[dst] = occupancy.pop(src)
@@ -187,34 +192,37 @@ class CircuitInterpreter:
         snaps: list[tuple[float, list[PauliString]]] = []
         pending = sorted(snapshot_times or [])
 
-        instructions = circuit.sorted_instructions()
-        for idx, inst in enumerate(instructions):
-            qubits = resolve_qubits(inst, occupancy, ion_index)
+        cols = circuit.sorted_columns()
+        names, sites_of, labels = cols.names, cols.sites, cols.labels
+        starts = cols.t.tolist()
+        n_rows = cols.n
+        for idx in range(n_rows):
+            name = names[idx]
+            sites = sites_of[idx]
+            qubits = resolve_qubits(name, sites, occupancy, ion_index)
 
-            if inst.name == "Load":
-                apply_load(inst, occupancy, ion_index, tableau.n)
-            elif inst.name == "Move":
-                apply_move(inst, occupancy)
-            elif inst.name == "Prepare_Z":
+            if name == "Load":
+                apply_load(sites[0], occupancy, ion_index, tableau.n)
+            elif name == "Move":
+                apply_move(sites[0], sites[1], occupancy)
+            elif name == "Prepare_Z":
                 tableau.reset(qubits[0], self.rng)
-            elif inst.name == "Measure_Z":
-                label = inst.label or f"m?{idx}"
+            elif name == "Measure_Z":
+                label = labels.get(idx) or f"m?{idx}"
                 outcome, det = tableau.measure(
                     qubits[0], self.rng, forced.get(label)
                 )
                 outcomes[label] = outcome
                 deterministic[label] = det
-            elif inst.name in NON_CLIFFORD_GATES:
-                gate, w = self.sampler.sample(inst.name, self.rng)
+            elif name in NON_CLIFFORD_GATES:
+                gate, w = self.sampler.sample(name, self.rng)
                 weight *= w
                 if gate is not None:
                     apply_to_tableau(tableau, gate, tuple(qubits))
             else:
-                apply_to_tableau(tableau, inst.name, tuple(qubits))
+                apply_to_tableau(tableau, name, tuple(qubits))
 
-            while pending and (
-                idx + 1 == len(instructions) or instructions[idx + 1].t > pending[0]
-            ):
+            while pending and (idx + 1 == n_rows or starts[idx + 1] > pending[0]):
                 snaps.append((pending.pop(0), tableau.stabilizer_generators()))
 
         result = RunResult(

@@ -225,18 +225,19 @@ class NoiseModel:
     def apply_operation_noise(
         self,
         tab: PackedTableau,
-        inst,
+        name: str,
+        duration: float,
         qubits: list[int],
         rng: np.random.Generator,
     ) -> None:
         """Post-operation noise for one instruction, over the whole batch.
 
-        ``inst`` is the time-resolved :class:`~repro.hardware.circuit.Instruction`
-        (its ``duration`` drives the dephasing contribution), ``qubits`` the
-        tableau qubits it resolved to.
+        ``name``/``duration`` are the instruction's gate name and length in
+        µs (the duration drives the dephasing contribution), ``qubits`` the
+        tableau qubits it resolved to — taken straight from the circuit's
+        columns, no Instruction object required.
         """
         p = self.params
-        name = inst.name
         if name in SINGLE_QUBIT_GATES:
             self._depolarize_1q(tab, qubits[0], p.p1, rng)
         elif name == "ZZ":
@@ -250,7 +251,7 @@ class NoiseModel:
             return  # a fresh |0>/|1> has no coherence to dephase
         elif name == "Measure_Z":
             return  # readout flips are applied to the record, not the state
-        p_z = self.dephasing_probability(inst.duration)
+        p_z = self.dephasing_probability(duration)
         for q in qubits:
             self._dephase(tab, q, p_z, rng)
 

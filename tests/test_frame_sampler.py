@@ -108,15 +108,23 @@ class TestEngineBehaviour:
         from repro.core.compiler import TISCC
         from repro.decode.memory import MemoryExperiment as ME
 
-        exp = ME(distance=3, rounds=1)
-        # Splice a non-Clifford instruction into the compiled stream so DEM
-        # extraction fails while the quasi-Clifford tableau path still runs.
-        site = exp.compiled.circuit.sorted_instructions()[0].sites[0]
-        exp.compiled.circuit.append("Z_pi/8", (site,), t=0.05, duration=0.1)
-        assert isinstance(exp.compiler, TISCC)
-        rep = exp.run(20, noise=NoiseModel.uniform(1e-3), seed=1, engine="frame")
-        assert rep.engine == "tableau"
-        assert rep.n_shots == 20
+        # Compiled cores are shared per (distance, rounds, basis); isolate
+        # this experiment so splicing a gate below cannot leak to (or pick
+        # up state from) other tests' experiments.
+        ME.clear_compile_cache()
+        try:
+            exp = ME(distance=3, rounds=1)
+            # Splice a non-Clifford instruction into the compiled stream so
+            # DEM extraction fails while the quasi-Clifford tableau path
+            # still runs.
+            site = exp.compiled.circuit.sorted_instructions()[0].sites[0]
+            exp.compiled.circuit.append("Z_pi/8", (site,), t=0.05, duration=0.1)
+            assert isinstance(exp.compiler, TISCC)
+            rep = exp.run(20, noise=NoiseModel.uniform(1e-3), seed=1, engine="frame")
+            assert rep.engine == "tableau"
+            assert rep.n_shots == 20
+        finally:
+            ME.clear_compile_cache()
 
     def test_frame_and_tableau_agree_at_zero_noise(self, exp3):
         for noise in (None, NoiseModel.preset("ideal")):

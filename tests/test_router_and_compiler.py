@@ -132,9 +132,25 @@ class TestCompilerFacade:
         ],
     )
     def test_dispatch_wrong_arity(self, step):
+        """Malformed steps raise a one-line ValueError naming the signature.
+
+        (They used to escape as an opaque ``TypeError`` from the dispatch
+        lambda.)
+        """
         compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
-        with pytest.raises(TypeError):
+        mnemonic = step[0]
+        with pytest.raises(ValueError, match="wrong number of arguments") as exc:
             compiler.compile([step])
+        message = str(exc.value)
+        assert "\n" not in message
+        assert f"got {len(step) - 1}" in message
+        assert mnemonic + TISCC.SIGNATURES[mnemonic][0] in message
+
+    def test_dispatch_malformed_prepare_names_signature(self):
+        """The ISSUE's exemplar: ('PrepareZ', 0, 0) names PrepareZ(tile)."""
+        compiler = TISCC(dx=2, dz=2, rounds=1)
+        with pytest.raises(ValueError, match=r"expected PrepareZ\(tile\)"):
+            compiler.compile([("PrepareZ", 0, 0)])
 
     def test_dispatch_optional_direction_defaults(self):
         compiler = TISCC(dx=2, dz=2, tile_rows=1, tile_cols=2, rounds=1)
