@@ -15,6 +15,9 @@ Examples::
     tiscc lfr --distances 3 --noise near_term --shots 500
     tiscc lfr --distances 3 5 7 --rates 1e-3 --shots 20000 --engine frame
     tiscc lfr --distances 3 --rates 1e-3 --decoder union_find_unweighted
+    tiscc lfr --distances 3 5 7 --rates 1e-3 3e-3 --jobs 4 --checkpoint runs/lfr
+    tiscc lfr --distances 3 5 7 --rates 1e-3 3e-3 --jobs 4 --checkpoint runs/lfr --resume
+    tiscc sweep --op CNOT --distances 3 5 7 --jobs 2 --checkpoint runs/cnot --resume
     tiscc dem --distance 5 --rate 1e-3 --json dem5.json
     tiscc dem --distance 3 --rate 1e-3 --decoder lookup
 """
@@ -125,6 +128,66 @@ def _validate_distances(distances: list[int]) -> str | None:
     return None
 
 
+def _validate_sweep_distances(distances: list[int]) -> str | None:
+    """One-line complaint for invalid resource-sweep distances, or None.
+
+    Resource sweeps intentionally accept even distances (the estimator can
+    price a d=2 patch even though it is not a code the lfr path would
+    decode), but anything below 2 has no patch to compile.
+    """
+    for d in distances:
+        if d < 2:
+            return f"--distances must be at least 2 for resource sweeps (got {d})"
+    return None
+
+
+def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
+    """Sharding/checkpointing options shared by the sweep front-ends."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cell execution (1 = in-process, the oracle path)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory: completed cells are persisted there "
+        "(content-addressed) and served on --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from an existing --checkpoint directory",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell, refreshing any checkpoint entries",
+    )
+
+
+def _validate_job_args(args: argparse.Namespace) -> str | None:
+    """One-line complaint for inconsistent sharding options, or None."""
+    if args.jobs < 1:
+        return f"--jobs must be at least 1 (got {args.jobs})"
+    if args.resume and args.checkpoint is None:
+        return "--resume requires --checkpoint DIR (there is nothing to resume from)"
+    return None
+
+
+def _print_job_summary(args: argparse.Namespace, stats: dict) -> None:
+    """One status line about sharded execution (only when it was requested)."""
+    if args.jobs <= 1 and args.checkpoint is None:
+        return
+    extra = ", degraded to in-process" if stats.get("degraded") else ""
+    print(
+        f"# sweep cells: {stats.get('cache_hits', 0)} served from cache, "
+        f"{stats.get('executed', 0)} computed ({args.jobs} worker(s){extra})"
+    )
+
+
 def _validate_rates(
     rates: list[float] | None,
     scales: list[float] | None = None,
@@ -155,12 +218,15 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
     if args.shots < 2:
         print("--shots must be at least 2")
         return 2
-    complaint = _validate_distances(args.distances) or _validate_rates(
-        args.rates, args.scales
+    complaint = (
+        _validate_distances(args.distances)
+        or _validate_rates(args.rates, args.scales)
+        or _validate_job_args(args)
     )
     if complaint:
         print(complaint)
         return 2
+    stats: dict = {}
     try:
         if args.rates is not None:
             models = [NoiseModel.uniform(p) for p in args.rates]
@@ -177,10 +243,16 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
             seed=args.seed,
             engine=args.engine,
             decoder=args.decoder,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            use_cache=not args.no_cache,
+            resume=args.resume,
+            stats=stats,
         )
     except ValueError as err:
-        # Bad rates/scales/distances/decoders surface as one-line messages,
-        # not tracebacks (the lookup decoder rejects large graphs here too).
+        # Bad rates/scales/distances/decoders — and unusable checkpoint
+        # directories — surface as one-line messages, not tracebacks (the
+        # lookup decoder rejects large graphs here too).
         print(err)
         return 2
     elapsed = time.perf_counter() - t0
@@ -190,6 +262,7 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
         f"{args.engine} engine, {args.decoder or 'union_find'} decoder "
         f"({elapsed:.1f} s total)"
     )
+    _print_job_summary(args, stats)
     print(format_logical_error_table(reports, title="decoded logical error rates"))
     if args.json:
         with open(args.json, "w") as fh:
@@ -294,8 +367,29 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    reports = sweep_operation(args.op, args.distances, rounds=args.rounds)
+    complaint = _validate_sweep_distances(args.distances) or _validate_job_args(args)
+    if complaint:
+        print(complaint)
+        return 2
+    stats: dict = {}
+    try:
+        reports = sweep_operation(
+            args.op,
+            args.distances,
+            rounds=args.rounds,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            use_cache=not args.no_cache,
+            resume=args.resume,
+            stats=stats,
+        )
+    except ValueError as err:
+        # Unknown operations and unusable checkpoint directories surface as
+        # one-line messages, not tracebacks (App. B one-line-error style).
+        print(err)
+        return 2
     print(format_resource_table(reports, title=f"{args.op} resource sweep (§3.4)"))
+    _print_job_summary(args, stats)
     return 0
 
 
@@ -384,6 +478,7 @@ def main(argv: list[str] | None = None) -> int:
         help="registered decoder (default: weighted union-find on the DEM graph)",
     )
     p_lfr.add_argument("--json", default=None, help="also write reports to a JSON file")
+    _add_job_arguments(p_lfr)
     p_lfr.set_defaults(fn=_cmd_lfr)
 
     p_dem = sub.add_parser(
@@ -418,6 +513,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--op", required=True)
     p_sweep.add_argument("--distances", type=int, nargs="+", default=[3, 5])
     p_sweep.add_argument("--rounds", type=int, default=None)
+    _add_job_arguments(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     args = parser.parse_args(argv)

@@ -48,9 +48,46 @@ from repro.sim.dem import (
     extract_fault_table,
 )
 from repro.sim.frame import FrameSampler, FrameSamples
-from repro.sim.noise import NoiseModel
+from repro.sim.noise import NoiseModel, NoiseParams
 
-__all__ = ["MemoryExperiment"]
+__all__ = ["MemoryExperiment", "memory_cache_key"]
+
+
+def memory_cache_key(
+    dx: int,
+    dz: int,
+    rounds: int | None,
+    basis: str,
+    noise: NoiseModel | NoiseParams | None,
+) -> tuple:
+    """Canonical cache-key components of one memory-experiment cell.
+
+    This is the pure-parameter identity the sharded sweep layer
+    (:mod:`repro.estimator.jobs`) hashes into content-addressed result
+    keys, exported from here so it stays in lock-step with what a
+    :class:`MemoryExperiment` actually computes:
+
+    * ``rounds`` is normalized exactly like :func:`_memory_core` does
+      (``None`` means ``max(dx, dz)``), so explicit and defaulted rounds
+      share a cache entry;
+    * the noise model enters as its :func:`~repro.sim.dem.dem_structure_key`
+      (which channels can fire — the part that shapes the fault table) plus
+      the raw rate values — but **not** the cosmetic ``params.name``, so
+      renamed-but-identical models hit the same cache entry.
+    """
+    n_rounds = rounds if rounds is not None else max(dx, dz)
+    params = noise.params if isinstance(noise, NoiseModel) else noise
+    if params is None:
+        noise_part: tuple = ("none",)
+    else:
+        noise_part = tuple(dem_structure_key(params)) + (
+            params.p1,
+            params.p2,
+            params.p_prep,
+            params.p_meas,
+            params.t2_us,
+        )
+    return ("memory", dx, dz, n_rounds, basis) + noise_part
 
 
 @dataclass
@@ -240,6 +277,14 @@ class MemoryExperiment:
     def clear_compile_cache() -> None:
         """Drop every cached compiled memory experiment (mainly for tests)."""
         _CORE_CACHE.clear()
+
+    def cache_key(self, noise: NoiseModel | None = None) -> tuple:
+        """This experiment's canonical cache-key components under ``noise``.
+
+        See :func:`memory_cache_key` — the identity the sharded sweep layer
+        hashes into content-addressed result keys.
+        """
+        return memory_cache_key(self.dx, self.dz, self.rounds, self.basis, noise)
 
     # ------------------------------------------------------------- plumbing
     @property

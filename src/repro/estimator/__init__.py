@@ -8,6 +8,8 @@ from repro.estimator.report import (
     logical_outcome_statistics,
     outcome_statistics,
 )
+from repro.estimator.cache import CheckpointError, ResultCache
+from repro.estimator.jobs import SweepCell, payload_fingerprint, run_cells
 from repro.estimator.sweep import sweep_operation, OPERATION_PROGRAMS
 
 __all__ = [
@@ -18,4 +20,9 @@ __all__ = [
     "logical_outcome_statistics",
     "sweep_operation",
     "OPERATION_PROGRAMS",
+    "CheckpointError",
+    "ResultCache",
+    "SweepCell",
+    "payload_fingerprint",
+    "run_cells",
 ]

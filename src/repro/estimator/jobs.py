@@ -1,0 +1,405 @@
+"""Sharded, checkpointed sweep execution over independent cells.
+
+A sweep — ``logical_error_sweep``, ``sweep_operation``, ``sweep_all`` — is
+decomposed into independent :class:`SweepCell` units, each a pure function
+of its parameters: one ``(op, dx/dz, rounds, basis, noise, decoder,
+engine, shots, seed)`` point.  Each cell has a deterministic content key
+(:func:`cell_key`: SHA-256 over the canonical cell parameters, with the
+noise model fingerprinted via
+:func:`repro.decode.memory.memory_cache_key`), which addresses its result
+in an on-disk :class:`~repro.estimator.cache.ResultCache`.  The driver
+
+* serves every cached cell with a hash-verified file read,
+* executes missing cells on a ``ProcessPoolExecutor`` (``jobs > 1``) with
+  per-cell retry and timeout, degrading gracefully to in-process execution
+  when workers die (``BrokenProcessPool`` after a SIGKILL, say),
+* appends each completed cell to the checkpoint (atomic result write +
+  manifest append), so a killed sweep resumes by replaying the manifest
+  and submitting only the missing cells.
+
+**Determinism contract.**  A cell's randomness is rooted in the sweep seed
+exactly as the serial oracle roots it: the engines spawn per-shot streams
+via ``SeedSequence(seed, spawn_key=(shot,))`` (PR 3), a derivation that
+depends on neither the executing worker, the submission order, nor any
+chunk size — so *any* sharding of the cell list merges to bit-identical
+reports vs the single-process sweep (the property suite in
+``tests/test_sweep_jobs.py`` locks this down).  ``max_batch`` is therefore
+an execution knob excluded from the cell key.  Wall-clock timing fields
+are the one nondeterministic part of a payload; compare runs with
+:func:`payload_fingerprint`, which drops them.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.estimator.cache import CheckpointError, ResultCache, content_hash
+from repro.sim.noise import NoiseModel, NoiseParams
+
+__all__ = [
+    "SweepCell",
+    "cell_key",
+    "cell_seed",
+    "sweep_fingerprint",
+    "payload_fingerprint",
+    "logical_error_cells",
+    "resource_cells",
+    "execute_cell",
+    "run_cells",
+    "new_stats",
+]
+
+#: Payload fields that record wall-clock measurements — the only
+#: nondeterministic content of a cell result.
+TIMING_FIELDS = frozenset({"sim_seconds", "decode_seconds"})
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independently executable unit of a sweep.
+
+    ``kind`` selects the workload: ``"memory_lfr"`` runs a decoded memory
+    experiment (one row of :func:`~repro.estimator.sweep.logical_error_sweep`),
+    ``"resource"`` compiles one operation at one distance (one row of
+    :func:`~repro.estimator.sweep.sweep_operation`).  ``max_batch`` chunks
+    frame sampling inside a cell; results are chunk-invariant in it (per-shot
+    seed streams), so it does not enter the cell key.
+    """
+
+    kind: str
+    op: str
+    dx: int
+    dz: int
+    rounds: int | None
+    basis: str = "Z"
+    noise: NoiseParams | None = None
+    decoder: str = "union_find"
+    engine: str = "frame"
+    shots: int = 0
+    seed: int = 0
+    max_batch: int | None = None
+
+    def key_payload(self) -> dict:
+        """The canonical parameter dict hashed into this cell's key."""
+        if self.kind == "memory_lfr":
+            from repro.decode.memory import memory_cache_key
+
+            return {
+                "kind": self.kind,
+                "memory": list(
+                    memory_cache_key(self.dx, self.dz, self.rounds, self.basis, self.noise)
+                ),
+                "decoder": self.decoder,
+                "engine": self.engine,
+                "shots": self.shots,
+                "seed": self.seed,
+            }
+        if self.kind == "resource":
+            return {
+                "kind": self.kind,
+                "op": self.op,
+                "dx": self.dx,
+                "dz": self.dz,
+                "rounds": self.rounds,
+            }
+        raise ValueError(f"unknown sweep cell kind {self.kind!r}")
+
+    def key(self) -> str:
+        return content_hash(self.key_payload())
+
+
+def cell_key(cell: SweepCell) -> str:
+    """Content-address of one cell: SHA-256 of its canonical parameters."""
+    return cell.key()
+
+
+def cell_seed(cell: SweepCell) -> int:
+    """The seed a cell's engines are rooted in — the sweep seed, verbatim.
+
+    The serial oracle hands every ``(distance, noise)`` point the same
+    sweep-level seed; reproducing that here (rather than deriving a
+    per-cell seed) is what makes the process-parallel merge bit-identical
+    to the serial sweep.  Chunk-invariance *within* the cell comes from the
+    engines' per-shot ``SeedSequence(seed, spawn_key=(shot,))`` streams,
+    which never see the worker or chunk layout.
+    """
+    return cell.seed
+
+
+def sweep_fingerprint(keys: list[str]) -> str:
+    """Order-independent identity of a whole sweep: hash of its cell keys."""
+    return content_hash(sorted(set(keys)))
+
+
+def payload_fingerprint(payload: dict) -> str:
+    """Hash of a payload's deterministic content (timing fields dropped)."""
+    return content_hash({k: v for k, v in payload.items() if k not in TIMING_FIELDS})
+
+
+# ------------------------------------------------------------- cell builders
+def logical_error_cells(
+    distances: list[int],
+    noise_models: list[NoiseModel],
+    *,
+    shots: int,
+    basis: str = "Z",
+    rounds: int | None = None,
+    seed: int = 0,
+    engine: str = "frame",
+    max_batch: int | None = None,
+    decoder: str | None = None,
+) -> list[SweepCell]:
+    """Cells of a logical-error sweep, distance-major like the serial loop."""
+    return [
+        SweepCell(
+            kind="memory_lfr",
+            op=f"{basis}Memory",
+            dx=d,
+            dz=d,
+            rounds=rounds,
+            basis=basis,
+            noise=model.params,
+            decoder=decoder if decoder is not None else "union_find",
+            engine=engine,
+            shots=shots,
+            seed=seed,
+            max_batch=max_batch,
+        )
+        for d in distances
+        for model in noise_models
+    ]
+
+
+def resource_cells(
+    ops: list[str], distances: list[int], rounds: int | None = None
+) -> list[SweepCell]:
+    """Cells of a resource sweep, operation-major then distance-major."""
+    return [
+        SweepCell(kind="resource", op=op, dx=d, dz=d, rounds=rounds)
+        for op in ops
+        for d in distances
+    ]
+
+
+# --------------------------------------------------------------- execution
+def _maybe_inject_fault(key: str) -> None:
+    """Crash/exception injection hook for the fault-tolerance test suite.
+
+    Set ``TISCC_SWEEP_FAULT`` to ``"kill"`` (SIGKILL the executing process)
+    or ``"raise"`` (raise from the cell) and ``TISCC_SWEEP_FAULT_KEY`` to a
+    cell-key prefix to target.  When ``TISCC_SWEEP_FAULT_DIR`` names a
+    directory, an ``O_EXCL`` marker file arbitrates so the fault fires
+    exactly once across all workers — the retry/resume path then has to
+    finish the job.  Inert unless the environment variables are set.
+    """
+    mode = os.environ.get("TISCC_SWEEP_FAULT")
+    if not mode:
+        return
+    prefix = os.environ.get("TISCC_SWEEP_FAULT_KEY", "")
+    if prefix and not key.startswith(prefix):
+        return
+    marker_dir = os.environ.get("TISCC_SWEEP_FAULT_DIR")
+    if marker_dir:
+        marker = os.path.join(marker_dir, f"fault-fired-{prefix or 'any'}")
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise RuntimeError(f"injected fault for cell {key[:12]}")
+
+
+def execute_cell(cell: SweepCell) -> dict:
+    """Run one cell to completion and return its JSON-ready payload.
+
+    Pure in the cell parameters (modulo timing fields) and picklable, so it
+    runs identically in the driver process and in pool workers.
+    """
+    _maybe_inject_fault(cell.key())
+    if cell.kind == "memory_lfr":
+        from repro.decode.memory import MemoryExperiment
+
+        experiment = MemoryExperiment(
+            dx=cell.dx, dz=cell.dz, rounds=cell.rounds, basis=cell.basis
+        )
+        model = NoiseModel(cell.noise) if cell.noise is not None else None
+        report = experiment.run(
+            cell.shots,
+            noise=model,
+            seed=cell_seed(cell),
+            engine=cell.engine,
+            max_batch=cell.max_batch,
+            decoder=cell.decoder,
+        )
+        return report.to_dict()
+    if cell.kind == "resource":
+        from repro.estimator.sweep import sweep_operation
+
+        report = sweep_operation(cell.op, [cell.dx], rounds=cell.rounds)[0]
+        return report.to_dict()
+    raise ValueError(f"unknown sweep cell kind {cell.kind!r}")
+
+
+def new_stats() -> dict:
+    """A fresh execution-statistics record for :func:`run_cells`."""
+    return {
+        "cells": 0,
+        "cache_hits": 0,
+        "executed": 0,
+        "retried": 0,
+        "timed_out": 0,
+        "degraded": False,
+    }
+
+
+def _sweep_summary(cells: list[SweepCell]) -> dict:
+    """Human-readable sweep description pinned into the checkpoint meta."""
+    return {
+        "kinds": sorted({c.kind for c in cells}),
+        "ops": sorted({c.op for c in cells}),
+        "distances": sorted({c.dx for c in cells} | {c.dz for c in cells}),
+        "bases": sorted({c.basis for c in cells}),
+        "noise": sorted({c.noise.name if c.noise is not None else "none" for c in cells}),
+        "shots": sorted({c.shots for c in cells}),
+        "seeds": sorted({c.seed for c in cells}),
+        "cells": len(cells),
+    }
+
+
+def run_cells(
+    cells: list[SweepCell],
+    *,
+    jobs: int = 1,
+    checkpoint: str | os.PathLike | None = None,
+    use_cache: bool = True,
+    resume: bool = True,
+    retries: int = 1,
+    timeout: float | None = None,
+    stats: dict | None = None,
+) -> list[dict]:
+    """Execute ``cells`` and return their payloads, in cell order.
+
+    ``checkpoint`` names a :class:`ResultCache` directory: completed cells
+    are durably recorded there as they finish, and (with ``use_cache``)
+    already-recorded cells are served from disk instead of recomputed.
+    ``resume=False`` refuses a checkpoint that already holds completed
+    cells — the explicit-opt-in behaviour the CLI's ``--resume`` flag
+    exposes; library callers default to resuming.  A checkpoint written
+    for *different* cell parameters raises :class:`CheckpointError` either
+    way.
+
+    ``jobs > 1`` fans missing cells out over a process pool; each failed
+    cell is retried up to ``retries`` times, ``timeout`` (seconds) bounds
+    how long the driver waits without *any* cell completing, and a broken
+    pool (killed workers) degrades to in-process execution of whatever
+    remains.  ``stats`` (see :func:`new_stats`) is updated in place with
+    cache/execution counters.
+    """
+    if stats is None:
+        stats = new_stats()
+    else:
+        for k, v in new_stats().items():
+            stats.setdefault(k, v)
+    stats["cells"] += len(cells)
+
+    keys = [c.key() for c in cells]
+    cache: ResultCache | None = None
+    if checkpoint is not None:
+        cache = ResultCache(checkpoint)
+        cache.ensure_meta(sweep_fingerprint(keys), _sweep_summary(cells))
+        if not resume and use_cache and len(cache):
+            raise CheckpointError(
+                f"checkpoint {checkpoint} already holds {len(cache)} completed "
+                "cell(s); pass --resume to reuse them (or --no-cache to recompute)"
+            )
+
+    results: dict[str, dict] = {}
+    pending: list[tuple[str, SweepCell]] = []
+    seen: set[str] = set()
+    for key, cell in zip(keys, cells):
+        if key in seen:
+            continue  # identical cells share one execution (and one payload)
+        seen.add(key)
+        payload = cache.get(key) if (cache is not None and use_cache) else None
+        if payload is not None:
+            results[key] = payload
+            stats["cache_hits"] += 1
+        else:
+            pending.append((key, cell))
+
+    def record(key: str, payload: dict) -> None:
+        results[key] = payload
+        stats["executed"] += 1
+        if cache is not None:
+            cache.put(key, payload)
+
+    if pending:
+        leftovers = pending
+        if jobs > 1:
+            leftovers = _run_pool(pending, jobs, retries, timeout, record, stats)
+        for key, cell in leftovers:
+            record(key, execute_cell(cell))
+
+    return [results[key] for key in keys]
+
+
+def _run_pool(
+    pending: list[tuple[str, SweepCell]],
+    jobs: int,
+    retries: int,
+    timeout: float | None,
+    record,
+    stats: dict,
+) -> list[tuple[str, SweepCell]]:
+    """Pool-execute cells; return the ones that must finish in-process.
+
+    Cells come back to the caller (for in-process execution) when their
+    retry budget is exhausted, when the pool breaks (a worker died — the
+    classic SIGKILL/OOM case), or when no cell completes within
+    ``timeout`` seconds.
+    """
+    leftovers: list[tuple[str, SweepCell]] = []
+    attempts: dict[str, int] = {}
+    done_keys: set[str] = set()
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures = {pool.submit(execute_cell, cell): (key, cell) for key, cell in pending}
+        while futures:
+            done, not_done = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                # Nothing finished within the timeout: stop trusting the
+                # pool and run the rest in-process.
+                stats["timed_out"] += len(not_done)
+                stats["degraded"] = True
+                break
+            for fut in done:
+                key, cell = futures.pop(fut)
+                try:
+                    payload = fut.result()
+                except BrokenProcessPool:
+                    raise
+                except Exception:
+                    attempts[key] = attempts.get(key, 0) + 1
+                    stats["retried"] += 1
+                    if attempts[key] <= retries:
+                        futures[pool.submit(execute_cell, cell)] = (key, cell)
+                    else:
+                        leftovers.append((key, cell))
+                    continue
+                record(key, payload)
+                done_keys.add(key)
+    except BrokenProcessPool:
+        # One or more workers died (SIGKILL, OOM, segfault).  Everything
+        # in flight is lost; degrade gracefully to in-process execution of
+        # whatever has not been recorded yet.
+        stats["degraded"] = True
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    finished = done_keys | {key for key, _ in leftovers}
+    leftovers.extend((key, cell) for key, cell in pending if key not in finished)
+    return leftovers

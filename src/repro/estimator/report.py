@@ -185,6 +185,23 @@ class LogicalErrorReport:
             f"{self.decode_seconds:.2f}",
         ]
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LogicalErrorReport":
+        """Rebuild a report from a :meth:`to_dict` payload.
+
+        The inverse the sharded sweep layer uses to serve cached results:
+        derived columns (``logical_error_rate``, ``stderr``, ...) are
+        recomputed from the stored counts, and the ``noise`` key maps back
+        onto ``noise_name``.
+        """
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in payload.items() if k in names}
+        if "noise" in payload:
+            kwargs["noise_name"] = payload["noise"]
+        return cls(**kwargs)
+
     def to_dict(self) -> dict:
         """JSON-friendly summary (used by benchmark artifacts and the CLI)."""
         return {

@@ -55,14 +55,39 @@ def sweep_operation(
     name: str,
     distances: list[int],
     rounds: int | None = None,
+    *,
+    jobs: int = 1,
+    checkpoint: str | None = None,
+    use_cache: bool = True,
+    resume: bool = True,
+    stats: dict | None = None,
 ) -> list[ResourceReport]:
-    """Compile ``name`` at each distance and collect resource reports."""
+    """Compile ``name`` at each distance and collect resource reports.
+
+    With the default ``jobs=1`` and no ``checkpoint`` this is the serial
+    in-process oracle.  ``jobs > 1`` shards the distances over a process
+    pool and ``checkpoint`` persists (and, on a rerun, serves) each
+    distance's report through the content-addressed cache — see
+    :mod:`repro.estimator.jobs`.
+    """
     try:
         build, shape = OPERATION_PROGRAMS[name]
     except KeyError:
         raise ValueError(
             f"unknown operation {name!r}; choose from {sorted(OPERATION_PROGRAMS)}"
         ) from None
+    if jobs > 1 or checkpoint is not None:
+        from repro.estimator.jobs import resource_cells, run_cells
+
+        payloads = run_cells(
+            resource_cells([name], distances, rounds),
+            jobs=jobs,
+            checkpoint=checkpoint,
+            use_cache=use_cache,
+            resume=resume,
+            stats=stats,
+        )
+        return [ResourceReport.from_dict(p) for p in payloads]
     reports = []
     for d in distances:
         compiler = TISCC(dx=d, dz=d, tile_rows=shape[0], tile_cols=shape[1], rounds=rounds)
@@ -72,7 +97,37 @@ def sweep_operation(
     return reports
 
 
-def sweep_all(distances: list[int], rounds: int | None = None) -> dict[str, list[ResourceReport]]:
+def sweep_all(
+    distances: list[int],
+    rounds: int | None = None,
+    *,
+    jobs: int = 1,
+    checkpoint: str | None = None,
+    use_cache: bool = True,
+    resume: bool = True,
+    stats: dict | None = None,
+) -> dict[str, list[ResourceReport]]:
+    """Resource sweeps for every registered operation.
+
+    ``jobs``/``checkpoint`` shard the full (operation x distance) cell grid
+    over the job layer in one batch — one pool, one checkpoint — instead
+    of one sweep per operation.
+    """
+    if jobs > 1 or checkpoint is not None:
+        from repro.estimator.jobs import resource_cells, run_cells
+
+        ops = list(OPERATION_PROGRAMS)
+        payloads = run_cells(
+            resource_cells(ops, distances, rounds),
+            jobs=jobs,
+            checkpoint=checkpoint,
+            use_cache=use_cache,
+            resume=resume,
+            stats=stats,
+        )
+        reports = [ResourceReport.from_dict(p) for p in payloads]
+        n = len(distances)
+        return {op: reports[i * n : (i + 1) * n] for i, op in enumerate(ops)}
     return {name: sweep_operation(name, distances, rounds) for name in OPERATION_PROGRAMS}
 
 
@@ -87,6 +142,11 @@ def logical_error_sweep(
     engine: str = "frame",
     max_batch: int | None = None,
     decoder: str | None = None,
+    jobs: int = 1,
+    checkpoint: str | None = None,
+    use_cache: bool = True,
+    resume: bool = True,
+    stats: dict | None = None,
 ) -> list[LogicalErrorReport]:
     """Decoded logical error rate across code distances and noise strengths.
 
@@ -108,6 +168,14 @@ def logical_error_sweep(
     ``decoder`` names a registered decoder (``"union_find"``,
     ``"union_find_unweighted"``, ``"lookup"``, ...); ``None`` keeps each
     experiment's default (weighted union-find over the DEM-built graph).
+
+    With the default ``jobs=1`` and no ``checkpoint`` the serial in-process
+    loop below runs — the oracle every other execution mode must match
+    bit-for-bit.  ``jobs > 1`` shards the (distance x noise) cells over a
+    process pool, and ``checkpoint`` persists each completed cell to a
+    content-addressed on-disk cache so a killed sweep resumes where it
+    stopped and a repeated sweep is pure file reads — see
+    :mod:`repro.estimator.jobs` for the cell/key/resume semantics.
     """
     from repro.decode.memory import MemoryExperiment
 
@@ -116,6 +184,29 @@ def logical_error_sweep(
     if noise_models is None:
         assert rates is not None
         noise_models = [NoiseModel.uniform(p) for p in rates]
+    if jobs > 1 or checkpoint is not None:
+        from repro.estimator.jobs import logical_error_cells, run_cells
+
+        cells = logical_error_cells(
+            distances,
+            noise_models,
+            shots=shots,
+            basis=basis,
+            rounds=rounds,
+            seed=seed,
+            engine=engine,
+            max_batch=max_batch,
+            decoder=decoder,
+        )
+        payloads = run_cells(
+            cells,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            use_cache=use_cache,
+            resume=resume,
+            stats=stats,
+        )
+        return [LogicalErrorReport.from_dict(p) for p in payloads]
     reports = []
     for d in distances:
         experiment = MemoryExperiment(distance=d, rounds=rounds, basis=basis)

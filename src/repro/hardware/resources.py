@@ -73,6 +73,25 @@ class ResourceReport:
             f"{'n_instr':>8}"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (checkpoint payloads, benchmark artifacts).
+
+        Resource estimation is fully deterministic, so the round trip
+        through :meth:`from_dict` is exact — the sharded sweep layer relies
+        on cached resource payloads being bit-identical to fresh compiles.
+        """
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResourceReport":
+        """Rebuild a report from a :meth:`to_dict` payload."""
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
 
 def estimate_resources(
     grid: GridManager,

@@ -152,3 +152,87 @@ class TestHappyPaths:
         assert code == 0
         assert "decoding graph (lookup):" in out
         assert "weights" in out
+
+
+class TestShardedSweeps:
+    """--jobs/--checkpoint/--resume/--no-cache on the sweep front-ends."""
+
+    LFR = ["lfr", "--distances", "3", "--rates", "1e-3", "--shots", "100", "--rounds", "2"]
+
+    def test_sweep_unknown_op_is_one_line_error(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--op", "Nope", "--distances", "3")
+        assert code == 2
+        assert "unknown operation" in out and "Nope" in out
+        assert "Traceback" not in out
+
+    def test_sweep_bad_distance_is_one_line_error(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--op", "Idle", "--distances", "1")
+        assert code == 2
+        assert "at least 2" in out and "Traceback" not in out
+
+    def test_bad_jobs_rejected(self, capsys):
+        code, out = run_cli(capsys, *self.LFR, "--jobs", "0")
+        assert code == 2
+        assert "--jobs" in out
+
+    def test_resume_without_checkpoint_rejected(self, capsys):
+        code, out = run_cli(capsys, *self.LFR, "--resume")
+        assert code == 2
+        assert "--resume requires --checkpoint" in out
+
+    def test_lfr_jobs_matches_serial(self, capsys):
+        code, serial = run_cli(capsys, *self.LFR)
+        code2, parallel = run_cli(capsys, *self.LFR, "--jobs", "2")
+        assert code == 0 and code2 == 0
+        # Same table rows modulo the timing columns (wall clock differs).
+        strip = [" ".join(line.split()[:10]) for line in serial.splitlines() if "ZMemory" in line]
+        strip2 = [
+            " ".join(line.split()[:10]) for line in parallel.splitlines() if "ZMemory" in line
+        ]
+        assert strip == strip2
+        assert "sweep cells: 0 served from cache, 1 computed (2 worker(s))" in parallel
+
+    def test_checkpoint_resume_serves_from_cache(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck")
+        code, out = run_cli(capsys, *self.LFR, "--checkpoint", ck)
+        assert code == 0
+        assert "1 computed" in out
+        code, out = run_cli(capsys, *self.LFR, "--checkpoint", ck, "--resume")
+        assert code == 0
+        assert "1 served from cache, 0 computed" in out
+
+    def test_populated_checkpoint_without_resume_is_one_line_error(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck")
+        assert run_cli(capsys, *self.LFR, "--checkpoint", ck)[0] == 0
+        code, out = run_cli(capsys, *self.LFR, "--checkpoint", ck)
+        assert code == 2
+        assert "pass --resume" in out and "Traceback" not in out
+
+    def test_mismatched_checkpoint_is_one_line_error(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck")
+        assert run_cli(capsys, *self.LFR, "--checkpoint", ck)[0] == 0
+        code, out = run_cli(
+            capsys,
+            "lfr", "--distances", "3", "--rates", "5e-3", "--shots", "100",
+            "--rounds", "2", "--checkpoint", ck, "--resume",
+        )
+        assert code == 2
+        assert "different sweep" in out and "Traceback" not in out
+
+    def test_no_cache_recomputes(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck")
+        assert run_cli(capsys, *self.LFR, "--checkpoint", ck)[0] == 0
+        code, out = run_cli(capsys, *self.LFR, "--checkpoint", ck, "--no-cache")
+        assert code == 0
+        assert "0 served from cache, 1 computed" in out
+
+    def test_sweep_checkpoint_round_trip(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck")
+        args = ["sweep", "--op", "Idle", "--distances", "2", "3", "--checkpoint", ck]
+        code, first = run_cli(capsys, *args)
+        code2, second = run_cli(capsys, *args, "--resume")
+        assert code == 0 and code2 == 0
+        assert "2 served from cache, 0 computed" in second
+        # Resource rows are fully deterministic: cached table == computed table.
+        rows = [line for line in first.splitlines() if line.startswith("Idle")]
+        assert rows and rows == [line for line in second.splitlines() if line.startswith("Idle")]

@@ -1,0 +1,312 @@
+"""Crash/resume fault-injection and sharding-equivalence suite for the
+sharded sweep engine (``estimator/jobs.py`` + ``estimator/cache.py``).
+
+The contract under test: no matter how a sweep is sharded, killed, or
+resumed, the merged reports are bit-identical (timing fields aside) to the
+serial single-process ``logical_error_sweep`` oracle; the checkpoint
+manifest never holds duplicate or torn cells; and corrupt result files are
+detected by their content hash and recomputed, never served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.estimator.cache import CheckpointError, ResultCache, content_hash
+from repro.estimator.jobs import (
+    execute_cell,
+    logical_error_cells,
+    new_stats,
+    payload_fingerprint,
+    resource_cells,
+    run_cells,
+)
+from repro.estimator.sweep import logical_error_sweep, sweep_operation
+from repro.sim.noise import NoiseModel
+
+DISTANCES = [3]
+RATES = [1e-3, 3e-3]
+SHOTS = 150
+MODELS = [NoiseModel.uniform(p) for p in RATES]
+
+
+def make_cells(**overrides):
+    kwargs = dict(shots=SHOTS, seed=0, engine="frame")
+    kwargs.update(overrides)
+    return logical_error_cells(DISTANCES, MODELS, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprints():
+    """The oracle: fingerprints of the uninterrupted serial sweep."""
+    reports = logical_error_sweep(DISTANCES, rates=RATES, shots=SHOTS, seed=0)
+    return [payload_fingerprint(r.to_dict()) for r in reports]
+
+
+def fingerprints(reports):
+    return [payload_fingerprint(r.to_dict()) for r in reports]
+
+
+def manifest_keys(root):
+    """Parsed manifest keys, asserting no line is torn and none repeats."""
+    lines = (root / "manifest.jsonl").read_text().splitlines()
+    keys = []
+    for line in lines:
+        rec = json.loads(line)  # raises on torn lines
+        keys.append(rec["key"])
+    assert len(keys) == len(set(keys)), "manifest contains duplicate cells"
+    return keys
+
+
+class TestFaultInjection:
+    def arm(self, monkeypatch, tmp_path, mode, key_prefix):
+        monkeypatch.setenv("TISCC_SWEEP_FAULT", mode)
+        monkeypatch.setenv("TISCC_SWEEP_FAULT_KEY", key_prefix)
+        monkeypatch.setenv("TISCC_SWEEP_FAULT_DIR", str(tmp_path / "fault"))
+        os.makedirs(tmp_path / "fault", exist_ok=True)
+
+    def test_sigkilled_worker_degrades_and_matches_serial(
+        self, monkeypatch, tmp_path, serial_fingerprints
+    ):
+        cells = make_cells()
+        self.arm(monkeypatch, tmp_path, "kill", cells[0].key()[:16])
+        stats = new_stats()
+        reports = logical_error_sweep(
+            DISTANCES,
+            rates=RATES,
+            shots=SHOTS,
+            seed=0,
+            jobs=2,
+            checkpoint=str(tmp_path / "ck"),
+            stats=stats,
+        )
+        assert stats["degraded"], "SIGKILL should break the pool"
+        assert stats["executed"] == len(cells)
+        assert fingerprints(reports) == serial_fingerprints
+        assert set(manifest_keys(tmp_path / "ck")) == {c.key() for c in cells}
+
+    def test_raising_worker_is_retried_and_matches_serial(
+        self, monkeypatch, tmp_path, serial_fingerprints
+    ):
+        cells = make_cells()
+        self.arm(monkeypatch, tmp_path, "raise", cells[1].key()[:16])
+        stats = new_stats()
+        reports = logical_error_sweep(
+            DISTANCES,
+            rates=RATES,
+            shots=SHOTS,
+            seed=0,
+            jobs=2,
+            checkpoint=str(tmp_path / "ck"),
+            stats=stats,
+        )
+        assert stats["retried"] == 1 and not stats["degraded"]
+        assert fingerprints(reports) == serial_fingerprints
+
+    def test_exhausted_retries_surface_the_worker_error(self, monkeypatch, tmp_path):
+        # No marker dir, so the fault fires on *every* attempt: the pool
+        # retries, exhausts the budget, hands the cell to the in-process
+        # fallback, and the persistent error finally reaches the caller.
+        cells = make_cells()
+        monkeypatch.setenv("TISCC_SWEEP_FAULT", "raise")
+        monkeypatch.setenv("TISCC_SWEEP_FAULT_KEY", cells[0].key()[:16])
+        stats = new_stats()
+        with pytest.raises(RuntimeError, match="injected fault"):
+            run_cells(cells, jobs=2, retries=1, stats=stats)
+        assert stats["retried"] == 2  # initial attempt + one retry, both poisoned
+
+    def test_interrupted_driver_resumes_bit_identical(
+        self, tmp_path, serial_fingerprints
+    ):
+        """SIGKILL the whole sweep driver mid-run, then resume the sweep."""
+        ck = tmp_path / "ck"
+        code = (
+            "from repro.estimator.sweep import logical_error_sweep\n"
+            f"logical_error_sweep({DISTANCES!r}, rates={RATES!r}, shots={SHOTS},"
+            f" seed=0, jobs=1, checkpoint={str(ck)!r})\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src" + os.pathsep + os.environ.get("PYTHONPATH", ""))
+        for var in ("TISCC_SWEEP_FAULT", "TISCC_SWEEP_FAULT_KEY", "TISCC_SWEEP_FAULT_DIR"):
+            env.pop(var, None)
+        proc = subprocess.Popen([sys.executable, "-c", code], env=env, cwd=os.getcwd())
+        manifest = ck / "manifest.jsonl"
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline and proc.poll() is None:
+            if manifest.exists() and manifest.read_text().count("\n") >= 1:
+                break
+            time.sleep(0.02)
+        proc.kill()
+        proc.wait(timeout=60)
+        assert manifest.exists(), "driver was killed before any cell completed"
+
+        stats = new_stats()
+        reports = logical_error_sweep(
+            DISTANCES,
+            rates=RATES,
+            shots=SHOTS,
+            seed=0,
+            checkpoint=str(ck),
+            stats=stats,
+        )
+        assert stats["cache_hits"] >= 1, "resume should replay completed cells"
+        assert fingerprints(reports) == serial_fingerprints
+        assert set(manifest_keys(ck)) == {c.key() for c in make_cells()}
+
+    def test_corrupted_result_file_is_recomputed(self, tmp_path, serial_fingerprints):
+        cells = make_cells()
+        ck = tmp_path / "ck"
+        run_cells(cells, checkpoint=ck)
+        victim = ResultCache(ck).result_path(cells[0].key())
+        record = json.loads(victim.read_text())
+        record["payload"]["failures"] += 1  # bit rot: hash no longer matches
+        victim.write_text(json.dumps(record))
+
+        stats = new_stats()
+        reports = logical_error_sweep(
+            DISTANCES, rates=RATES, shots=SHOTS, seed=0, checkpoint=str(ck), stats=stats
+        )
+        assert stats["cache_hits"] == len(cells) - 1
+        assert stats["executed"] == 1, "the corrupt cell must be recomputed"
+        assert fingerprints(reports) == serial_fingerprints
+
+    def test_torn_manifest_line_is_skipped_and_healed(self, tmp_path):
+        cells = make_cells()
+        ck = tmp_path / "ck"
+        run_cells(cells, checkpoint=ck)
+        with open(ck / "manifest.jsonl", "a") as fh:
+            fh.write('{"key": "deadbeef", "sha2')  # crash mid-append
+        cache = ResultCache(ck)
+        assert cache.stats["torn_lines"] == 1
+        assert cache.keys() == {c.key() for c in cells}
+        # The torn tail never surfaces as a cell; a rerun serves the intact ones.
+        stats = new_stats()
+        run_cells(cells, checkpoint=ck, stats=stats)
+        assert stats["cache_hits"] == len(cells)
+
+    def test_unlisted_result_file_is_rescued(self, tmp_path):
+        cells = make_cells()
+        ck = tmp_path / "ck"
+        run_cells(cells, checkpoint=ck)
+        # Simulate a crash between result rename and manifest append: the
+        # manifest loses its lines but the result files survive.
+        (ck / "manifest.jsonl").unlink()
+        cache = ResultCache(ck)
+        assert cache.stats["rescued"] == len(cells)
+        stats = new_stats()
+        run_cells(cells, checkpoint=ck, stats=stats)
+        assert stats["cache_hits"] == len(cells)
+
+
+class TestCheckpointSemantics:
+    def test_mismatched_checkpoint_is_one_line_error(self, tmp_path):
+        ck = tmp_path / "ck"
+        run_cells(make_cells(), checkpoint=ck)
+        other = logical_error_cells([3], [NoiseModel.uniform(5e-3)], shots=SHOTS, seed=0)
+        with pytest.raises(CheckpointError, match="different sweep"):
+            run_cells(other, checkpoint=ck)
+
+    def test_resume_false_refuses_populated_checkpoint(self, tmp_path):
+        ck = tmp_path / "ck"
+        cells = make_cells()
+        run_cells(cells, checkpoint=ck)
+        with pytest.raises(CheckpointError, match="--resume"):
+            run_cells(cells, checkpoint=ck, resume=False)
+        # --no-cache recomputes instead of serving, so it needs no opt-in.
+        stats = new_stats()
+        run_cells(cells, checkpoint=ck, resume=False, use_cache=False, stats=stats)
+        assert stats["executed"] == len(cells)
+        manifest_keys(ck)  # refresh must not append duplicate manifest cells
+
+    def test_duplicate_cells_share_one_execution(self, tmp_path):
+        cells = make_cells() + make_cells()  # every cell twice
+        stats = new_stats()
+        payloads = run_cells(cells, checkpoint=tmp_path / "ck", stats=stats)
+        assert stats["executed"] == len(cells) // 2
+        assert len(payloads) == len(cells)
+        assert payloads[: len(cells) // 2] == payloads[len(cells) // 2 :]
+        assert len(manifest_keys(tmp_path / "ck")) == len(cells) // 2
+
+    def test_resource_cells_round_trip_exactly(self, tmp_path):
+        serial = sweep_operation("Idle", [2, 3], rounds=1)
+        cached = sweep_operation(
+            "Idle", [2, 3], rounds=1, checkpoint=str(tmp_path / "ck")
+        )
+        again = sweep_operation(
+            "Idle", [2, 3], rounds=1, checkpoint=str(tmp_path / "ck")
+        )
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in cached]
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in again]
+
+    def test_cell_key_ignores_chunking_and_noise_name(self):
+        base = make_cells()[0]
+        renamed = logical_error_cells(
+            DISTANCES, [NoiseModel.uniform(RATES[0], name="other-name")],
+            shots=SHOTS, seed=0,
+        )[0]
+        chunked = make_cells(max_batch=7)[0]
+        assert base.key() == renamed.key() == chunked.key()
+        different = make_cells(seed=1)[0]
+        assert base.key() != different.key()
+
+    def test_resource_and_memory_cells_never_collide(self):
+        mem = {c.key() for c in make_cells()}
+        res = {c.key() for c in resource_cells(["Idle", "PrepareZ"], [2, 3], rounds=1)}
+        assert not mem & res
+
+
+class TestShardingProperty:
+    """Any sharding merges to exactly the serial sweep output.
+
+    Extends the PR 3 chunk-invariant-seed guarantee to the process-parallel
+    path: worker count (1..4), frame-sampling chunk size, and submission
+    order are all drawn by hypothesis, and every combination must reproduce
+    the serial oracle bit-for-bit (timing fields aside).
+    """
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        jobs=st.integers(min_value=1, max_value=4),
+        max_batch=st.one_of(st.none(), st.integers(min_value=1, max_value=SHOTS + 10)),
+        order=st.permutations(list(range(len(DISTANCES) * len(RATES)))),
+    )
+    def test_any_sharding_merges_to_serial(self, jobs, max_batch, order):
+        serial = logical_error_sweep(DISTANCES, rates=RATES, shots=SHOTS, seed=0)
+        want = {payload_fingerprint(r.to_dict()) for r in serial}
+
+        cells = make_cells(max_batch=max_batch)
+        shuffled = [cells[i] for i in order]
+        payloads = run_cells(shuffled, jobs=jobs)
+        got = {payload_fingerprint(p) for p in payloads}
+        assert got == want
+        # ... and the merge preserves the submitted order, not completion order.
+        assert [payload_fingerprint(p) for p in payloads] == [
+            payload_fingerprint(serial[i].to_dict()) for i in order
+        ]
+
+
+class TestExecuteCell:
+    def test_unknown_kind_rejected(self):
+        import dataclasses
+
+        bad = dataclasses.replace(make_cells()[0], kind="nope")
+        with pytest.raises(ValueError, match="unknown sweep cell kind"):
+            execute_cell(bad)
+
+    def test_payload_fingerprint_ignores_timings(self):
+        payload = execute_cell(make_cells()[0])
+        warped = dict(payload, sim_seconds=123.0, decode_seconds=456.0)
+        assert payload_fingerprint(payload) == payload_fingerprint(warped)
+        assert content_hash(payload) != content_hash(warped)
