@@ -50,6 +50,26 @@ detection events from it with no tableau at all — orders of magnitude
 faster, cross-validated against the packed-tableau engine by the
 equivalence test suite.  See ``tiscc dem`` and
 ``examples/fast_sampling.py``.
+
+Hardware profiles::
+
+    from repro import HardwareProfile, TISCC, logical_error_sweep
+    profile = HardwareProfile.load("my_trap.toml")   # or get_profile("slow_junction")
+    compiled = TISCC(dx=3, dz=3, profile=profile).compile([("PrepareZ", (0, 0))])
+    reports = logical_error_sweep([3, 5], rates=[1e-3],
+                                  profile=["baseline", "slow_junction"])
+
+Every calibration constant (gate-time table, shuttling and junction
+durations, zone pitch, noise presets) lives in a declarative
+:class:`~repro.hardware.profile.HardwareProfile` — validated, frozen, and
+fingerprinted so results from different hardware never share a cache
+entry.  Ship-with profiles: ``baseline`` (the paper's Table 5
+calibrations), ``slow_junction``, ``fast_projected``; ``tiscc profiles
+list`` shows them and ``--profile NAME|PATH`` threads one (or several,
+as a sweep axis) through every CLI subcommand.  Module-level constants
+(:data:`~repro.hardware.model.GATE_TIMES_US`, ...) remain as read views
+of the default profile; mutating them is deprecated in favour of
+defining a profile.
 """
 
 from repro.core.compiler import TISCC, CompiledOperation
@@ -65,14 +85,23 @@ from repro.decode import (
     available_decoders,
     get_decoder,
 )
-from repro.hardware.grid import GridManager
+from repro.estimator.sweep import logical_error_sweep, sweep_all, sweep_operation
+from repro.hardware.grid import GridManager, grid_for_patch
 from repro.hardware.model import HardwareModel, GATE_TIMES_US
 from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.profile import (
+    DEFAULT_PROFILE,
+    HardwareProfile,
+    ProfileError,
+    available_profiles,
+    get_profile,
+    register_profile,
+)
 from repro.sim.noise import NOISE_PRESETS, NoiseModel, NoiseParams
 from repro.sim.dem import DetectorErrorModel, DemExtractionError
 from repro.sim.frame import FrameSampler, FrameSamples
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "TISCC",
@@ -81,9 +110,19 @@ __all__ = [
     "LogicalQubit",
     "Arrangement",
     "GridManager",
+    "grid_for_patch",
     "HardwareModel",
     "HardwareCircuit",
     "GATE_TIMES_US",
+    "HardwareProfile",
+    "ProfileError",
+    "DEFAULT_PROFILE",
+    "get_profile",
+    "register_profile",
+    "available_profiles",
+    "logical_error_sweep",
+    "sweep_operation",
+    "sweep_all",
     "MemoryExperiment",
     "Decoder",
     "get_decoder",

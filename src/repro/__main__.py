@@ -20,6 +20,11 @@ Examples::
     tiscc sweep --op CNOT --distances 3 5 7 --jobs 2 --checkpoint runs/cnot --resume
     tiscc dem --distance 5 --rate 1e-3 --json dem5.json
     tiscc dem --distance 3 --rate 1e-3 --decoder lookup
+    tiscc profiles list
+    tiscc profiles show slow_junction
+    tiscc compile --op Idle --dx 3 --dz 3 --profile fast_projected --resources
+    tiscc sweep --op Idle --distances 3 5 --profile baseline --profile slow_junction
+    tiscc lfr --distances 3 --rates 1e-3 --profile my_trap.toml
 """
 
 from __future__ import annotations
@@ -41,6 +46,33 @@ from repro.estimator.sweep import OPERATION_PROGRAMS, sweep_operation
 __all__ = ["main"]
 
 
+def _resolve_profile_args(specs) -> list:
+    """Resolve CLI ``--profile`` values (names or paths) to profiles.
+
+    ``specs`` is the raw argparse value: ``None`` (flag absent), one spec,
+    or a list of specs.  Bad names/files raise ``ProfileError`` (a
+    ``ValueError``), which the command handlers surface as one-line
+    messages.
+    """
+    from repro.hardware.profile import get_profile
+
+    if specs is None or isinstance(specs, str):
+        return [get_profile(specs)]
+    return [get_profile(s) for s in specs]
+
+
+def _profile_note(profiles) -> str:
+    """Status-line fragment naming non-default profiles (else empty).
+
+    Empty for a pure-baseline run so that default CLI output stays
+    bit-identical to the pre-profile format.
+    """
+    if all(p.name == "baseline" for p in profiles):
+        return ""
+    names = [p.name for p in profiles]
+    return f", profile {names[0]}" if len(names) == 1 else f", profiles {names}"
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.core.compiler import TISCC
 
@@ -49,12 +81,18 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     except KeyError:
         print(f"unknown operation {args.op!r}; choose from {sorted(OPERATION_PROGRAMS)}")
         return 2
+    try:
+        (prof,) = _resolve_profile_args(args.profile)
+    except ValueError as err:
+        print(err)
+        return 2
     compiler = TISCC(
-        dx=args.dx, dz=args.dz, tile_rows=shape[0], tile_cols=shape[1], rounds=args.rounds
+        dx=args.dx, dz=args.dz, tile_rows=shape[0], tile_cols=shape[1], rounds=args.rounds,
+        profile=prof,
     )
     compiled = compiler.compile(build(), operation=args.op)
     print(
-        f"# compiled {args.op} (dx={args.dx}, dz={args.dz}): "
+        f"# compiled {args.op} (dx={args.dx}, dz={args.dz}{_profile_note([prof])}): "
         f"{len(compiled.circuit)} native instructions, "
         f"makespan {compiled.circuit.makespan / 1000:.3f} ms, "
         f"{compiled.logical_timesteps} logical time-step(s), "
@@ -90,8 +128,14 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     if args.shots < 1:
         print("--shots must be at least 1")
         return 2
+    try:
+        (prof,) = _resolve_profile_args(args.profile)
+    except ValueError as err:
+        print(err)
+        return 2
     compiler = TISCC(
-        dx=args.dx, dz=args.dz, tile_rows=shape[0], tile_cols=shape[1], rounds=args.rounds
+        dx=args.dx, dz=args.dz, tile_rows=shape[0], tile_cols=shape[1], rounds=args.rounds,
+        profile=prof,
     )
     compiled = compiler.compile(build(), operation=args.op)
     t0 = time.perf_counter()
@@ -139,6 +183,23 @@ def _validate_sweep_distances(distances: list[int]) -> str | None:
         if d < 2:
             return f"--distances must be at least 2 for resource sweeps (got {d})"
     return None
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser, repeatable: bool = False) -> None:
+    """``--profile NAME|PATH``: hardware profile selection.
+
+    ``repeatable=True`` (the sweep front-ends) lets the flag appear several
+    times, making the profile a first-class sweep axis.
+    """
+    extra = "; repeat the flag to sweep several profiles" if repeatable else ""
+    parser.add_argument(
+        "--profile",
+        action="append" if repeatable else "store",
+        default=None,
+        metavar="NAME|PATH",
+        help="hardware profile: a shipped/registered name (see `tiscc profiles "
+        f"list`) or a TOML/JSON file path{extra}",
+    )
 
 
 def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
@@ -228,11 +289,13 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
         return 2
     stats: dict = {}
     try:
+        profiles = _resolve_profile_args(args.profile)
         if args.rates is not None:
             models = [NoiseModel.uniform(p) for p in args.rates]
         else:
-            base = NoiseModel.preset(args.noise)
-            models = [base.scaled(s) if s != 1.0 else base for s in args.scales]
+            # Preset specs resolve against each profile inside the sweep,
+            # so "near_term" means each architecture's own calibration.
+            models = [(args.noise, s) for s in args.scales]
         t0 = time.perf_counter()
         reports = logical_error_sweep(
             args.distances,
@@ -243,6 +306,7 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
             seed=args.seed,
             engine=args.engine,
             decoder=args.decoder,
+            profile=profiles,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             use_cache=not args.no_cache,
@@ -250,17 +314,17 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
             stats=stats,
         )
     except ValueError as err:
-        # Bad rates/scales/distances/decoders — and unusable checkpoint
-        # directories — surface as one-line messages, not tracebacks (the
-        # lookup decoder rejects large graphs here too).
+        # Bad rates/scales/distances/decoders/profiles — and unusable
+        # checkpoint directories — surface as one-line messages, not
+        # tracebacks (the lookup decoder rejects large graphs here too).
         print(err)
         return 2
     elapsed = time.perf_counter() - t0
     print(
         f"# logical error rates: {args.basis}-basis memory, distances "
         f"{args.distances}, {args.shots} shots each, seed {args.seed}, "
-        f"{args.engine} engine, {args.decoder or 'union_find'} decoder "
-        f"({elapsed:.1f} s total)"
+        f"{args.engine} engine, {args.decoder or 'union_find'} decoder"
+        f"{_profile_note(profiles)} ({elapsed:.1f} s total)"
     )
     _print_job_summary(args, stats)
     print(format_logical_error_table(reports, title="decoded logical error rates"))
@@ -288,17 +352,18 @@ def _cmd_dem(args: argparse.Namespace) -> int:
         print(f"--rounds must be at least 1 (got {args.rounds})")
         return 2
     try:
+        (prof,) = _resolve_profile_args(args.profile)
         model = (
             NoiseModel.uniform(args.rate)
             if args.rate is not None
-            else NoiseModel.preset(args.noise)
+            else NoiseModel.preset(args.noise, profile=prof)
         )
     except ValueError as err:
-        # Unknown presets surface as one-line messages, not tracebacks.
+        # Unknown presets/profiles surface as one-line messages, not tracebacks.
         print(err)
         return 2
     experiment = MemoryExperiment(
-        distance=args.distance, rounds=args.rounds, basis=args.basis
+        distance=args.distance, rounds=args.rounds, basis=args.basis, profile=prof
     )
     t0 = time.perf_counter()
     table = experiment.fault_table(model)
@@ -308,7 +373,7 @@ def _cmd_dem(args: argparse.Namespace) -> int:
     sizes = Counter(len(dets) for dets in dem.detectors)
     print(
         f"# detector error model: {args.basis}-basis memory, d={args.distance}, "
-        f"{experiment.rounds} round(s), noise {model.name} "
+        f"{experiment.rounds} round(s), noise {model.name}{_profile_note([prof])} "
         f"({elapsed:.2f} s extraction)"
     )
     print(
@@ -353,10 +418,15 @@ def _cmd_dem(args: argparse.Namespace) -> int:
 
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.code.patch_layout import PatchLayout
-    from repro.hardware.grid import GridManager
+    from repro.hardware.grid import grid_for_patch
 
     arrangement = Arrangement[args.arrangement.upper()]
-    grid = GridManager(args.dz + 2, args.dx + 2)
+    try:
+        (prof,) = _resolve_profile_args(args.profile)
+    except ValueError as err:
+        print(err)
+        return 2
+    grid = grid_for_patch(prof, args.dx, args.dz)
     layout = PatchLayout(grid, args.dx, args.dz, arrangement=arrangement)
     print(
         f"# {arrangement.name} arrangement, dx={args.dx}, dz={args.dz} "
@@ -373,10 +443,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     stats: dict = {}
     try:
+        profiles = _resolve_profile_args(args.profile)
         reports = sweep_operation(
             args.op,
             args.distances,
             rounds=args.rounds,
+            profile=profiles,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             use_cache=not args.no_cache,
@@ -384,12 +456,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             stats=stats,
         )
     except ValueError as err:
-        # Unknown operations and unusable checkpoint directories surface as
-        # one-line messages, not tracebacks (App. B one-line-error style).
+        # Unknown operations/profiles and unusable checkpoint directories
+        # surface as one-line messages, not tracebacks (App. B style).
         print(err)
         return 2
     print(format_resource_table(reports, title=f"{args.op} resource sweep (§3.4)"))
     _print_job_summary(args, stats)
+    return 0
+
+
+def _cmd_profiles_list(args: argparse.Namespace) -> int:
+    from repro.hardware.profile import available_profiles, get_profile
+
+    print(
+        f"{'name':<16} {'fingerprint':<12} {'move_us':>8} {'junction_us':>11} "
+        f"{'presets':<28} description"
+    )
+    try:
+        for name in available_profiles():
+            p = get_profile(name)
+            presets = ",".join(p.preset_names)
+            print(
+                f"{p.name:<16} {p.fingerprint[:12]:<12} {p.move_us:>8g} "
+                f"{p.junction_us:>11g} {presets:<28} {p.description}"
+            )
+    except ValueError as err:
+        # A malformed shipped/registered profile file: one line, no traceback.
+        print(err)
+        return 2
+    return 0
+
+
+def _cmd_profiles_show(args: argparse.Namespace) -> int:
+    from repro.hardware.profile import get_profile
+
+    try:
+        p = get_profile(args.name)
+    except ValueError as err:
+        print(err)
+        return 2
+    if args.json:
+        print(p.dumps())
+        return 0
+    print(f"# hardware profile {p.name} (fingerprint {p.fingerprint})")
+    if p.description:
+        print(f"# {p.description}")
+    print(
+        f"topology: {p.topology}  zone_pitch_um: {p.zone_pitch_um:g}  "
+        f"move_us: {p.move_us:g}  junction_us: {p.junction_us:g} "
+        f"(hop {p.junction_hop_us:g})"
+    )
+    print("gate times [us]:")
+    for gate, t in p.gate_times_us:
+        print(f"  {gate:<12} {t:g}")
+    print("noise presets:")
+    for name in p.preset_names:
+        params = p.preset_params(name)
+        knobs = "  ".join(f"{k}={v:g}" for k, v in params.items() if v is not None)
+        print(f"  {name:<12} {knobs}")
     return 0
 
 
@@ -415,6 +539,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_compile.add_argument("--simulate", action="store_true")
     p_compile.add_argument("--seed", type=int, default=0)
+    _add_profile_argument(p_compile)
     p_compile.set_defaults(fn=_cmd_compile)
 
     p_sample = sub.add_parser(
@@ -435,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         "--outcomes", action="store_true", help="also print per-label outcome statistics"
     )
     p_sample.add_argument("--max-labels", type=int, default=16)
+    _add_profile_argument(p_sample)
     p_sample.set_defaults(fn=_cmd_sample)
 
     p_lfr = sub.add_parser(
@@ -478,6 +604,7 @@ def main(argv: list[str] | None = None) -> int:
         help="registered decoder (default: weighted union-find on the DEM graph)",
     )
     p_lfr.add_argument("--json", default=None, help="also write reports to a JSON file")
+    _add_profile_argument(p_lfr, repeatable=True)
     _add_job_arguments(p_lfr)
     p_lfr.set_defaults(fn=_cmd_lfr)
 
@@ -501,20 +628,38 @@ def main(argv: list[str] | None = None) -> int:
         help="also summarize the DEM-built decoding graph for this decoder",
     )
     p_dem.add_argument("--json", default=None, help="write the full DEM to a JSON file")
+    _add_profile_argument(p_dem)
     p_dem.set_defaults(fn=_cmd_dem)
 
     p_render = sub.add_parser("render", help="render a patch layout (Fig 1/Fig 2)")
     p_render.add_argument("--dx", type=int, default=3)
     p_render.add_argument("--dz", type=int, default=3)
     p_render.add_argument("--arrangement", default="standard")
+    _add_profile_argument(p_render)
     p_render.set_defaults(fn=_cmd_render)
 
     p_sweep = sub.add_parser("sweep", help="resource sweep over code distances")
     p_sweep.add_argument("--op", required=True)
     p_sweep.add_argument("--distances", type=int, nargs="+", default=[3, 5])
     p_sweep.add_argument("--rounds", type=int, default=None)
+    _add_profile_argument(p_sweep, repeatable=True)
     _add_job_arguments(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_profiles = sub.add_parser(
+        "profiles", help="list or inspect declarative hardware profiles"
+    )
+    profiles_sub = p_profiles.add_subparsers(dest="profiles_command", required=True)
+    pp_list = profiles_sub.add_parser("list", help="list shipped/registered profiles")
+    pp_list.set_defaults(fn=_cmd_profiles_list)
+    pp_show = profiles_sub.add_parser(
+        "show", help="show one profile's calibration in full"
+    )
+    pp_show.add_argument("name", help="profile name or TOML/JSON file path")
+    pp_show.add_argument(
+        "--json", action="store_true", help="print the profile as canonical JSON"
+    )
+    pp_show.set_defaults(fn=_cmd_profiles_show)
 
     args = parser.parse_args(argv)
     return args.fn(args)

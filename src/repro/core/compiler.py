@@ -22,6 +22,7 @@ from repro.core.derived import DerivedInstructions
 from repro.core.instructions import InstructionResult
 from repro.core.tiles import TileGrid
 from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.profile import HardwareProfile
 from repro.hardware.resources import ResourceReport, estimate_resources
 from repro.hardware.validity import ValidityReport, check_circuit
 from repro.sim.batch import BatchResult, BatchRunner
@@ -78,13 +79,19 @@ class TISCC:
         tile_rows: int = 1,
         tile_cols: int = 2,
         rounds: int | None = None,
+        profile: "HardwareProfile | str | None" = None,
     ):
-        self.tiles = TileGrid(tile_rows, tile_cols, dx, dz)
+        self.tiles = TileGrid(tile_rows, tile_cols, dx, dz, profile=profile)
         self.ops = DerivedInstructions(self.tiles, rounds=rounds)
 
     @property
     def grid(self):
         return self.tiles.grid
+
+    @property
+    def profile(self) -> "HardwareProfile":
+        """The hardware profile every compiled circuit is timed against."""
+        return self.tiles.grid.profile
 
     #: Mnemonic -> human-readable argument signature and accepted arity range.
     SIGNATURES: dict[str, tuple[str, int, int]] = {

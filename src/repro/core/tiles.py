@@ -18,6 +18,7 @@ from repro.code.logical_qubit import LogicalQubit
 from repro.code.patch_layout import tile_unit_cols, tile_unit_rows
 from repro.hardware.grid import GridManager
 from repro.hardware.model import HardwareModel
+from repro.hardware.profile import HardwareProfile, get_profile
 
 __all__ = ["Tile", "TileGrid"]
 
@@ -52,6 +53,7 @@ class TileGrid:
         dx: int,
         dz: int,
         grid: GridManager | None = None,
+        profile: HardwareProfile | str | None = None,
     ):
         if rows < 1 or cols < 1:
             raise ValueError("need at least one tile")
@@ -61,7 +63,11 @@ class TileGrid:
         self.dz = dz
         self.tile_rows = tile_unit_rows(dz)
         self.tile_cols = tile_unit_cols(dx)
-        self.grid = grid or GridManager(rows * self.tile_rows, cols * self.tile_cols)
+        if grid is not None and profile is not None and grid.profile != get_profile(profile):
+            raise ValueError("explicit grid and profile disagree; pass one or the other")
+        self.grid = grid or GridManager(
+            get_profile(profile), rows * self.tile_rows, cols * self.tile_cols
+        )
         self.model = HardwareModel(self.grid)
         self.tiles: dict[tuple[int, int], Tile] = {}
         for r in range(rows):

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.compiler import TISCC
 from repro.decode.base import Decoder, get_decoder
+from repro.hardware.profile import DEFAULT_PROFILE, HardwareProfile, get_profile
 from repro.decode.graph import MatchingGraph, build_dem_graph, build_memory_graph
 from repro.estimator.report import LogicalErrorReport
 from repro.sim.batch import BatchResult
@@ -59,6 +60,7 @@ def memory_cache_key(
     rounds: int | None,
     basis: str,
     noise: NoiseModel | NoiseParams | None,
+    profile: HardwareProfile | str | None = None,
 ) -> tuple:
     """Canonical cache-key components of one memory-experiment cell.
 
@@ -73,7 +75,12 @@ def memory_cache_key(
     * the noise model enters as its :func:`~repro.sim.dem.dem_structure_key`
       (which channels can fire — the part that shapes the fault table) plus
       the raw rate values — but **not** the cosmetic ``params.name``, so
-      renamed-but-identical models hit the same cache entry.
+      renamed-but-identical models hit the same cache entry;
+    * a non-default hardware profile joins as its canonical
+      :attr:`~repro.hardware.profile.HardwareProfile.fingerprint` (physical
+      content only, never the profile's name), so two profiles can never
+      share a cached artifact while default-profile keys — and therefore
+      existing checkpoints — are unchanged.
     """
     n_rounds = rounds if rounds is not None else max(dx, dz)
     params = noise.params if isinstance(noise, NoiseModel) else noise
@@ -87,7 +94,11 @@ def memory_cache_key(
             params.p_meas,
             params.t2_us,
         )
-    return ("memory", dx, dz, n_rounds, basis) + noise_part
+    key = ("memory", dx, dz, n_rounds, basis) + noise_part
+    prof = get_profile(profile)
+    if prof.fingerprint != DEFAULT_PROFILE.fingerprint:
+        key += (("profile", prof.fingerprint),)
+    return key
 
 
 @dataclass
@@ -116,19 +127,32 @@ class _MemoryCore:
     dem_graphs: dict = field(default_factory=dict)
 
 
-#: (dx, dz, rounds, basis) -> compiled core, LRU-capped.
+#: (dx, dz, rounds, basis, profile fingerprint) -> compiled core, LRU-capped.
 _CORE_CACHE: OrderedDict[tuple, _MemoryCore] = OrderedDict()
 _CORE_CACHE_MAX = 32
 
 
-def _memory_core(dx: int, dz: int, rounds: int | None, basis: str) -> _MemoryCore:
-    key = (dx, dz, rounds if rounds is not None else max(dx, dz), basis)
+def _memory_core(
+    dx: int,
+    dz: int,
+    rounds: int | None,
+    basis: str,
+    profile: HardwareProfile | None = None,
+) -> _MemoryCore:
+    profile = get_profile(profile)
+    key = (
+        dx,
+        dz,
+        rounds if rounds is not None else max(dx, dz),
+        basis,
+        profile.fingerprint,
+    )
     core = _CORE_CACHE.get(key)
     if core is not None:
         _CORE_CACHE.move_to_end(key)
         return core
 
-    compiler = TISCC(dx=dx, dz=dz, tile_rows=1, tile_cols=1, rounds=rounds)
+    compiler = TISCC(dx=dx, dz=dz, tile_rows=1, tile_cols=1, rounds=rounds, profile=profile)
     program = [(f"Prepare{basis}", (0, 0)), (f"Measure{basis}", (0, 0))]
     compiled = compiler.compile(program, operation=f"{basis}Memory")
 
@@ -220,6 +244,7 @@ class MemoryExperiment:
         rounds: int | None = None,
         basis: str = "Z",
         decoder: str = "union_find",
+        profile: HardwareProfile | str | None = None,
     ):
         if basis not in ("Z", "X"):
             raise ValueError("memory basis must be 'Z' or 'X'")
@@ -228,6 +253,8 @@ class MemoryExperiment:
         if dx is None or dz is None:
             raise ValueError("give either distance or both dx and dz")
         self.basis = basis
+        #: Hardware profile the experiment compiles and caches under.
+        self.profile = get_profile(profile)
         # Compilation, label extraction, and graph construction are shared
         # per (dx, dz, rounds, basis) across every instance in the process:
         # rate sweeps and repeated constructions pay for the compile once.
@@ -235,7 +262,7 @@ class MemoryExperiment:
         # :attr:`compiled` (e.g. splicing instructions into the circuit)
         # must call :meth:`clear_compile_cache` around the experiment to
         # avoid leaking the mutation into later constructions.
-        core = _memory_core(dx, dz, rounds, basis)
+        core = _memory_core(dx, dz, rounds, basis, self.profile)
         self._core = core
         self.compiler = core.compiler
         self.compiled = core.compiled
@@ -284,7 +311,9 @@ class MemoryExperiment:
         See :func:`memory_cache_key` — the identity the sharded sweep layer
         hashes into content-addressed result keys.
         """
-        return memory_cache_key(self.dx, self.dz, self.rounds, self.basis, noise)
+        return memory_cache_key(
+            self.dx, self.dz, self.rounds, self.basis, noise, profile=self.profile
+        )
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -590,6 +619,7 @@ class MemoryExperiment:
             n_shots=n_shots,
             noise_name=noise.name if noise is not None else "none",
             physical_rate=params.p2 if params is not None else None,
+            profile=self.profile.name,
             **kwargs,
         )
 

@@ -38,6 +38,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.estimator.cache import CheckpointError, ResultCache, content_hash
+from repro.hardware.profile import DEFAULT_PROFILE, HardwareProfile, get_profile
 from repro.sim.noise import NoiseModel, NoiseParams
 
 __all__ = [
@@ -82,16 +83,32 @@ class SweepCell:
     shots: int = 0
     seed: int = 0
     max_batch: int | None = None
+    #: Hardware profile the cell compiles under (``None`` = default).  The
+    #: profile is frozen/hashable, so the cell stays hashable and picklable.
+    profile: HardwareProfile | None = None
 
     def key_payload(self) -> dict:
-        """The canonical parameter dict hashed into this cell's key."""
+        """The canonical parameter dict hashed into this cell's key.
+
+        A non-default hardware profile joins as its canonical fingerprint
+        (for memory cells, inside :func:`memory_cache_key`), so two
+        profiles never share a content-addressed result while
+        default-profile keys match pre-profile checkpoints exactly.
+        """
         if self.kind == "memory_lfr":
             from repro.decode.memory import memory_cache_key
 
             return {
                 "kind": self.kind,
                 "memory": list(
-                    memory_cache_key(self.dx, self.dz, self.rounds, self.basis, self.noise)
+                    memory_cache_key(
+                        self.dx,
+                        self.dz,
+                        self.rounds,
+                        self.basis,
+                        self.noise,
+                        profile=self.profile,
+                    )
                 ),
                 "decoder": self.decoder,
                 "engine": self.engine,
@@ -99,13 +116,17 @@ class SweepCell:
                 "seed": self.seed,
             }
         if self.kind == "resource":
-            return {
+            payload = {
                 "kind": self.kind,
                 "op": self.op,
                 "dx": self.dx,
                 "dz": self.dz,
                 "rounds": self.rounds,
             }
+            prof = get_profile(self.profile)
+            if prof.fingerprint != DEFAULT_PROFILE.fingerprint:
+                payload["profile"] = prof.fingerprint
+            return payload
         raise ValueError(f"unknown sweep cell kind {self.kind!r}")
 
     def key(self) -> str:
@@ -152,8 +173,10 @@ def logical_error_cells(
     engine: str = "frame",
     max_batch: int | None = None,
     decoder: str | None = None,
+    profile: HardwareProfile | str | None = None,
 ) -> list[SweepCell]:
     """Cells of a logical-error sweep, distance-major like the serial loop."""
+    prof = get_profile(profile)
     return [
         SweepCell(
             kind="memory_lfr",
@@ -168,6 +191,7 @@ def logical_error_cells(
             shots=shots,
             seed=seed,
             max_batch=max_batch,
+            profile=prof,
         )
         for d in distances
         for model in noise_models
@@ -175,11 +199,15 @@ def logical_error_cells(
 
 
 def resource_cells(
-    ops: list[str], distances: list[int], rounds: int | None = None
+    ops: list[str],
+    distances: list[int],
+    rounds: int | None = None,
+    profile: HardwareProfile | str | None = None,
 ) -> list[SweepCell]:
     """Cells of a resource sweep, operation-major then distance-major."""
+    prof = get_profile(profile)
     return [
-        SweepCell(kind="resource", op=op, dx=d, dz=d, rounds=rounds)
+        SweepCell(kind="resource", op=op, dx=d, dz=d, rounds=rounds, profile=prof)
         for op in ops
         for d in distances
     ]
@@ -225,7 +253,11 @@ def execute_cell(cell: SweepCell) -> dict:
         from repro.decode.memory import MemoryExperiment
 
         experiment = MemoryExperiment(
-            dx=cell.dx, dz=cell.dz, rounds=cell.rounds, basis=cell.basis
+            dx=cell.dx,
+            dz=cell.dz,
+            rounds=cell.rounds,
+            basis=cell.basis,
+            profile=cell.profile,
         )
         model = NoiseModel(cell.noise) if cell.noise is not None else None
         report = experiment.run(
@@ -240,7 +272,9 @@ def execute_cell(cell: SweepCell) -> dict:
     if cell.kind == "resource":
         from repro.estimator.sweep import sweep_operation
 
-        report = sweep_operation(cell.op, [cell.dx], rounds=cell.rounds)[0]
+        report = sweep_operation(
+            cell.op, [cell.dx], rounds=cell.rounds, profile=cell.profile
+        )[0]
         return report.to_dict()
     raise ValueError(f"unknown sweep cell kind {cell.kind!r}")
 
@@ -267,6 +301,7 @@ def _sweep_summary(cells: list[SweepCell]) -> dict:
         "noise": sorted({c.noise.name if c.noise is not None else "none" for c in cells}),
         "shots": sorted({c.shots for c in cells}),
         "seeds": sorted({c.seed for c in cells}),
+        "profiles": sorted({get_profile(c.profile).name for c in cells}),
         "cells": len(cells),
     }
 

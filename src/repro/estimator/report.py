@@ -22,13 +22,19 @@ __all__ = [
 
 
 def format_resource_table(reports: list[ResourceReport], title: str = "") -> str:
-    """Render resource reports as the rows the paper's estimator prints."""
+    """Render resource reports as the rows the paper's estimator prints.
+
+    A ``profile`` column appears only when some report was produced under a
+    non-default hardware profile, keeping single-scenario output identical
+    to the historical format.
+    """
+    with_profile = any(r.profile != "baseline" for r in reports)
     lines = []
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    lines.append(ResourceReport.header())
-    lines.extend(r.row() for r in reports)
+    lines.append(ResourceReport.header(with_profile=with_profile))
+    lines.extend(r.row(with_profile=with_profile) for r in reports)
     return "\n".join(lines)
 
 
@@ -145,6 +151,8 @@ class LogicalErrorReport:
     decode_seconds: float
     engine: str = "tableau"
     decoder: str = "union_find"
+    #: Hardware profile the experiment was compiled under.
+    profile: str = "baseline"
 
     @property
     def logical_error_rate(self) -> float:
@@ -161,14 +169,17 @@ class LogicalErrorReport:
         return float(np.sqrt(p * (1.0 - p) / self.n_shots))
 
     @staticmethod
-    def header() -> list[str]:
-        return [
+    def header(with_profile: bool = False) -> list[str]:
+        cols = [
             "operation", "dx", "dz", "rounds", "noise", "shots", "LER", "stderr",
             "raw", "defects/shot", "engine", "decoder", "sim [s]", "decode [s]",
         ]
+        if with_profile:
+            cols.insert(5, "profile")
+        return cols
 
-    def row(self) -> list[str]:
-        return [
+    def row(self, with_profile: bool = False) -> list[str]:
+        cols = [
             self.operation,
             str(self.dx),
             str(self.dz),
@@ -184,6 +195,9 @@ class LogicalErrorReport:
             f"{self.sim_seconds:.2f}",
             f"{self.decode_seconds:.2f}",
         ]
+        if with_profile:
+            cols.insert(5, self.profile)
+        return cols
 
     @classmethod
     def from_dict(cls, payload: dict) -> "LogicalErrorReport":
@@ -220,18 +234,29 @@ class LogicalErrorReport:
             "mean_defects": self.mean_defects,
             "engine": self.engine,
             "decoder": self.decoder,
+            "profile": self.profile,
             "sim_seconds": self.sim_seconds,
             "decode_seconds": self.decode_seconds,
         }
 
 
 def format_logical_error_table(reports: list[LogicalErrorReport], title: str = "") -> str:
-    """Render decoded logical-error-rate reports, one row per batch."""
+    """Render decoded logical-error-rate reports, one row per batch.
+
+    The ``profile`` column appears only when some report was produced under
+    a non-default hardware profile (see :func:`format_resource_table`).
+    """
+    with_profile = any(r.profile != "baseline" for r in reports)
     lines = []
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    lines.append(_table(LogicalErrorReport.header(), [r.row() for r in reports]))
+    lines.append(
+        _table(
+            LogicalErrorReport.header(with_profile=with_profile),
+            [r.row(with_profile=with_profile) for r in reports],
+        )
+    )
     return "\n".join(lines)
 
 

@@ -14,9 +14,12 @@ helps below a critical physical rate and hurts above it).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.compiler import TISCC
 from repro.core.router import lattice_surgery_cnot_program
 from repro.estimator.report import LogicalErrorReport
+from repro.hardware.profile import HardwareProfile, get_profile
 from repro.hardware.resources import ResourceReport
 from repro.sim.noise import NoiseModel
 
@@ -26,6 +29,41 @@ __all__ = [
     "sweep_all",
     "logical_error_sweep",
 ]
+
+def _profiles(
+    profile: HardwareProfile | str | Sequence[HardwareProfile | str] | None,
+) -> list[HardwareProfile]:
+    """Resolve a profile spec (or list of specs) to concrete profiles.
+
+    ``None`` means the default profile; a list sweeps each entry in order
+    (the profile-major axis of a multi-architecture comparison).
+    """
+    if profile is None or isinstance(profile, (HardwareProfile, str)):
+        return [get_profile(profile)]
+    profs = [get_profile(p) for p in profile]
+    return profs or [get_profile(None)]
+
+
+def _resolve_noise(models: Sequence, profile: HardwareProfile) -> list[NoiseModel]:
+    """Resolve noise specs against one hardware profile.
+
+    Concrete :class:`NoiseModel` instances pass through unchanged; a string
+    names one of the profile's presets; a ``(name, scale)`` pair scales that
+    preset — so a preset-named sweep over several profiles uses each
+    architecture's own calibration, not the default one.
+    """
+    resolved: list[NoiseModel] = []
+    for m in models:
+        if isinstance(m, str):
+            resolved.append(NoiseModel.preset(m, profile=profile))
+        elif isinstance(m, tuple):
+            name, scale = m
+            base = NoiseModel.preset(name, profile=profile)
+            resolved.append(base.scaled(scale) if scale != 1.0 else base)
+        else:
+            resolved.append(m)
+    return resolved
+
 
 #: Operation name -> (program builder, tile grid shape).
 OPERATION_PROGRAMS: dict[str, tuple] = {
@@ -56,6 +94,7 @@ def sweep_operation(
     distances: list[int],
     rounds: int | None = None,
     *,
+    profile: HardwareProfile | str | Sequence[HardwareProfile | str] | None = None,
     jobs: int = 1,
     checkpoint: str | None = None,
     use_cache: bool = True,
@@ -69,6 +108,11 @@ def sweep_operation(
     pool and ``checkpoint`` persists (and, on a rerun, serves) each
     distance's report through the content-addressed cache — see
     :mod:`repro.estimator.jobs`.
+
+    ``profile`` selects the hardware calibration (name, path, instance, or
+    a list of those).  A list makes the profile a sweep axis: reports come
+    back profile-major, so one call prices the same operation on several
+    architectures side by side.
     """
     try:
         build, shape = OPERATION_PROGRAMS[name]
@@ -76,11 +120,15 @@ def sweep_operation(
         raise ValueError(
             f"unknown operation {name!r}; choose from {sorted(OPERATION_PROGRAMS)}"
         ) from None
+    profs = _profiles(profile)
     if jobs > 1 or checkpoint is not None:
         from repro.estimator.jobs import resource_cells, run_cells
 
+        cells = []
+        for prof in profs:
+            cells.extend(resource_cells([name], distances, rounds, profile=prof))
         payloads = run_cells(
-            resource_cells([name], distances, rounds),
+            cells,
             jobs=jobs,
             checkpoint=checkpoint,
             use_cache=use_cache,
@@ -89,11 +137,15 @@ def sweep_operation(
         )
         return [ResourceReport.from_dict(p) for p in payloads]
     reports = []
-    for d in distances:
-        compiler = TISCC(dx=d, dz=d, tile_rows=shape[0], tile_cols=shape[1], rounds=rounds)
-        compiled = compiler.compile(build(), operation=name)
-        assert compiled.resources is not None
-        reports.append(compiled.resources)
+    for prof in profs:
+        for d in distances:
+            compiler = TISCC(
+                dx=d, dz=d, tile_rows=shape[0], tile_cols=shape[1], rounds=rounds,
+                profile=prof,
+            )
+            compiled = compiler.compile(build(), operation=name)
+            assert compiled.resources is not None
+            reports.append(compiled.resources)
     return reports
 
 
@@ -101,6 +153,7 @@ def sweep_all(
     distances: list[int],
     rounds: int | None = None,
     *,
+    profile: HardwareProfile | str | Sequence[HardwareProfile | str] | None = None,
     jobs: int = 1,
     checkpoint: str | None = None,
     use_cache: bool = True,
@@ -111,14 +164,21 @@ def sweep_all(
 
     ``jobs``/``checkpoint`` shard the full (operation x distance) cell grid
     over the job layer in one batch — one pool, one checkpoint — instead
-    of one sweep per operation.
+    of one sweep per operation.  ``profile`` threads a hardware profile (or
+    a list of them — profile-major within each operation) through every
+    compile.
     """
     if jobs > 1 or checkpoint is not None:
         from repro.estimator.jobs import resource_cells, run_cells
 
         ops = list(OPERATION_PROGRAMS)
+        profs = _profiles(profile)
+        cells = []
+        for op in ops:
+            for prof in profs:
+                cells.extend(resource_cells([op], distances, rounds, profile=prof))
         payloads = run_cells(
-            resource_cells(ops, distances, rounds),
+            cells,
             jobs=jobs,
             checkpoint=checkpoint,
             use_cache=use_cache,
@@ -126,14 +186,17 @@ def sweep_all(
             stats=stats,
         )
         reports = [ResourceReport.from_dict(p) for p in payloads]
-        n = len(distances)
+        n = len(profs) * len(distances)
         return {op: reports[i * n : (i + 1) * n] for i, op in enumerate(ops)}
-    return {name: sweep_operation(name, distances, rounds) for name in OPERATION_PROGRAMS}
+    return {
+        name: sweep_operation(name, distances, rounds, profile=profile)
+        for name in OPERATION_PROGRAMS
+    }
 
 
 def logical_error_sweep(
     distances: list[int],
-    noise_models: list[NoiseModel] | None = None,
+    noise_models: list | None = None,
     rates: list[float] | None = None,
     shots: int = 1000,
     basis: str = "Z",
@@ -142,6 +205,7 @@ def logical_error_sweep(
     engine: str = "frame",
     max_batch: int | None = None,
     decoder: str | None = None,
+    profile: HardwareProfile | str | Sequence[HardwareProfile | str] | None = None,
     jobs: int = 1,
     checkpoint: str | None = None,
     use_cache: bool = True,
@@ -176,6 +240,13 @@ def logical_error_sweep(
     content-addressed on-disk cache so a killed sweep resumes where it
     stopped and a repeated sweep is pure file reads — see
     :mod:`repro.estimator.jobs` for the cell/key/resume semantics.
+
+    ``profile`` selects the hardware calibration — a name, path, instance,
+    or a list of those, which makes the profile the outermost sweep axis
+    (reports come back profile-major).  ``noise_models`` entries may also
+    be preset *names* (or ``(name, scale)`` pairs): those are resolved
+    against each profile in turn, so e.g. ``"near_term"`` means each
+    architecture's own near-term calibration rather than the default one.
     """
     from repro.decode.memory import MemoryExperiment
 
@@ -184,20 +255,26 @@ def logical_error_sweep(
     if noise_models is None:
         assert rates is not None
         noise_models = [NoiseModel.uniform(p) for p in rates]
+    profs = _profiles(profile)
     if jobs > 1 or checkpoint is not None:
         from repro.estimator.jobs import logical_error_cells, run_cells
 
-        cells = logical_error_cells(
-            distances,
-            noise_models,
-            shots=shots,
-            basis=basis,
-            rounds=rounds,
-            seed=seed,
-            engine=engine,
-            max_batch=max_batch,
-            decoder=decoder,
-        )
+        cells = []
+        for prof in profs:
+            cells.extend(
+                logical_error_cells(
+                    distances,
+                    _resolve_noise(noise_models, prof),
+                    shots=shots,
+                    basis=basis,
+                    rounds=rounds,
+                    seed=seed,
+                    engine=engine,
+                    max_batch=max_batch,
+                    decoder=decoder,
+                    profile=prof,
+                )
+            )
         payloads = run_cells(
             cells,
             jobs=jobs,
@@ -208,17 +285,21 @@ def logical_error_sweep(
         )
         return [LogicalErrorReport.from_dict(p) for p in payloads]
     reports = []
-    for d in distances:
-        experiment = MemoryExperiment(distance=d, rounds=rounds, basis=basis)
-        for model in noise_models:
-            reports.append(
-                experiment.run(
-                    shots,
-                    noise=model,
-                    seed=seed,
-                    engine=engine,
-                    max_batch=max_batch,
-                    decoder=decoder,
-                )
+    for prof in profs:
+        models = _resolve_noise(noise_models, prof)
+        for d in distances:
+            experiment = MemoryExperiment(
+                distance=d, rounds=rounds, basis=basis, profile=prof
             )
+            for model in models:
+                reports.append(
+                    experiment.run(
+                        shots,
+                        noise=model,
+                        seed=seed,
+                        engine=engine,
+                        max_batch=max_batch,
+                        decoder=decoder,
+                    )
+                )
     return reports

@@ -6,12 +6,22 @@ model (:class:`~repro.hardware.model.HardwareModel`, Table 5), time-resolved
 hardware circuits (:class:`~repro.hardware.circuit.HardwareCircuit`),
 movement-validity checking with junction-conflict resolution
 (:mod:`repro.hardware.validity`), and space-time resource accounting
-(:mod:`repro.hardware.resources`).
+(:mod:`repro.hardware.resources`).  All calibration constants are views of
+a declarative, fingerprinted :class:`~repro.hardware.profile.HardwareProfile`
+(:mod:`repro.hardware.profile`; shipped calibrations under ``profiles/``).
 """
 
 from repro.hardware.circuit import HardwareCircuit, Instruction
-from repro.hardware.grid import GridManager
+from repro.hardware.grid import GridManager, grid_for_patch
 from repro.hardware.model import HardwareModel, GATE_TIMES_US
+from repro.hardware.profile import (
+    DEFAULT_PROFILE,
+    HardwareProfile,
+    ProfileError,
+    available_profiles,
+    get_profile,
+    register_profile,
+)
 from repro.hardware.resources import ResourceReport, estimate_resources
 from repro.hardware.validity import CircuitValidityError, check_circuit
 
@@ -19,8 +29,15 @@ __all__ = [
     "HardwareCircuit",
     "Instruction",
     "GridManager",
+    "grid_for_patch",
     "HardwareModel",
     "GATE_TIMES_US",
+    "HardwareProfile",
+    "ProfileError",
+    "DEFAULT_PROFILE",
+    "get_profile",
+    "register_profile",
+    "available_profiles",
     "ResourceReport",
     "estimate_resources",
     "CircuitValidityError",

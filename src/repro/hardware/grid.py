@@ -27,14 +27,24 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.hardware.circuit import HardwareCircuit
+from repro.hardware.profile import DEFAULT_PROFILE, HardwareProfile, get_profile
 from repro.util.geometry import SiteType, site_exists, site_type_at
 
-__all__ = ["GridManager", "SiteBlockedError", "MOVE_US", "JUNCTION_HOP_US"]
+__all__ = [
+    "GridManager",
+    "SiteBlockedError",
+    "grid_for_patch",
+    "MOVE_US",
+    "JUNCTION_HOP_US",
+]
 
-#: Duration of a zone-to-zone move: 420 µm at 80 m/s (§3.2).
-MOVE_US = 5.25
+#: Duration of a zone-to-zone move: 420 µm at 80 m/s (§3.2).  A view of the
+#: default :class:`~repro.hardware.profile.HardwareProfile`; per-scenario
+#: values live on ``grid.profile``.
+MOVE_US = DEFAULT_PROFILE.move_us
 #: Duration of a junction crossing: two Junction ops at 105 µs each (§3.2).
-JUNCTION_HOP_US = 210.0
+#: Default-profile view, like :data:`MOVE_US`.
+JUNCTION_HOP_US = DEFAULT_PROFILE.junction_hop_us
 
 
 class SiteBlockedError(RuntimeError):
@@ -60,9 +70,27 @@ def _earliest_slot(intervals: list[tuple[float, float]], t: float, dur: float) -
 
 
 class GridManager:
-    """Grid navigation, ion registry, and movement scheduling."""
+    """Grid navigation, ion registry, and movement scheduling.
 
-    def __init__(self, unit_rows: int, unit_cols: int):
+    Accepts either the legacy ``GridManager(unit_rows, unit_cols)`` call
+    (default profile) or the profile-first ``GridManager(profile,
+    unit_rows, unit_cols)`` / ``GridManager(unit_rows, unit_cols,
+    profile=...)`` forms; transport durations come from ``self.profile``.
+    """
+
+    def __init__(self, *args, profile: HardwareProfile | str | None = None):
+        if args and isinstance(args[0], HardwareProfile):
+            if profile is not None:
+                raise TypeError("profile passed both positionally and by keyword")
+            profile, args = args[0], args[1:]
+        if len(args) != 2:
+            raise TypeError(
+                "GridManager takes (unit_rows, unit_cols) or (profile, unit_rows, unit_cols)"
+            )
+        unit_rows, unit_cols = args
+        self.profile = get_profile(profile)
+        self.move_us = self.profile.move_us
+        self.junction_hop_us = self.profile.junction_hop_us
         if unit_rows < 1 or unit_cols < 1:
             raise ValueError("grid must be at least 1x1 repeating units")
         self.unit_rows = unit_rows
@@ -385,12 +413,12 @@ class GridManager:
             raise ValueError(f"ion cannot stop on junction site {dst}")
         junction = None
         if dst in self.neighbors(src):
-            dur = MOVE_US
+            dur = self.move_us
         else:
             junction = self.junction_between(src, dst)
             if junction is None:
                 raise ValueError(f"sites {src} and {dst} are not one hop apart")
-            dur = JUNCTION_HOP_US
+            dur = self.junction_hop_us
 
         occupant = self._occupant.get(dst)
         if occupant is not None:
@@ -529,3 +557,19 @@ class GridManager:
             f"<GridManager {self.unit_rows}x{self.unit_cols} units, "
             f"{len(self._site_of)} ions>"
         )
+
+
+def grid_for_patch(
+    profile: HardwareProfile | str | None,
+    dx: int,
+    dz: int,
+    margin: tuple[int, int] = (2, 2),
+) -> GridManager:
+    """Grid sized for one standalone dx-by-dz patch plus working margin.
+
+    The single home of the ``(dz + margin_rows, dx + margin_cols)`` unit
+    convention previously duplicated across the CLI and the verification
+    protocols: margin rows/cols give ancilla ions room to shuttle around
+    the patch boundary.
+    """
+    return GridManager(get_profile(profile), dz + margin[0], dx + margin[1])

@@ -19,30 +19,66 @@ unitaries (up to global phase) in ``tests/test_hardware_model.py``:
 
 from __future__ import annotations
 
+import warnings
+
 from repro.hardware.circuit import HardwareCircuit
-from repro.hardware.grid import GridManager, MOVE_US
+from repro.hardware.grid import GridManager
+from repro.hardware.profile import DEFAULT_PROFILE, HardwareProfile
 
 __all__ = ["GATE_TIMES_US", "HardwareModel", "NATIVE_GATES", "SINGLE_QUBIT_GATES"]
 
+
+class _GateTimeTable(dict):
+    """Read-mostly view of the default profile's gate-time table.
+
+    Mutation still works (legacy scripts monkey-patch timings) but warns
+    once per call site: edits here are invisible to profile fingerprints,
+    so cached results would silently go stale.  Define a
+    :class:`~repro.hardware.profile.HardwareProfile` instead.
+    """
+
+    _WARNING = (
+        "mutating GATE_TIMES_US is deprecated; define a HardwareProfile "
+        "(repro.hardware.profile) so caches and sweeps see the change"
+    )
+
+    def _warn(self) -> None:
+        warnings.warn(self._WARNING, DeprecationWarning, stacklevel=3)
+
+    def __setitem__(self, key, value):
+        self._warn()
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._warn()
+        super().__delitem__(key)
+
+    def update(self, *args, **kwargs):
+        self._warn()
+        super().update(*args, **kwargs)
+
+    def pop(self, *args):
+        self._warn()
+        return super().pop(*args)
+
+    def popitem(self):
+        self._warn()
+        return super().popitem()
+
+    def clear(self):
+        self._warn()
+        super().clear()
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self._warn()
+        return super().setdefault(key, default)
+
+
 #: Native operation durations in microseconds — paper Table 5 / Fig 5.
-GATE_TIMES_US: dict[str, float] = {
-    "Prepare_Z": 10.0,
-    "Measure_Z": 120.0,
-    "X_pi/2": 10.0,
-    "X_pi/4": 10.0,
-    "X_-pi/4": 10.0,
-    "Y_pi/2": 10.0,
-    "Y_pi/4": 10.0,
-    "Y_-pi/4": 10.0,
-    "Z_pi/2": 3.0,
-    "Z_pi/4": 3.0,
-    "Z_-pi/4": 3.0,
-    "Z_pi/8": 3.0,
-    "Z_-pi/8": 3.0,
-    "ZZ": 2000.0,
-    "Move": MOVE_US,
-    "Junction": 105.0,
-}
+#: A view of :data:`~repro.hardware.profile.DEFAULT_PROFILE`; per-scenario
+#: tables live on ``HardwareProfile.gate_times`` (mutating this one warns).
+GATE_TIMES_US: dict[str, float] = _GateTimeTable(DEFAULT_PROFILE.gate_times)
 
 #: Names that may appear in compiled circuit output.
 NATIVE_GATES = frozenset(GATE_TIMES_US) - {"Junction"}
@@ -61,13 +97,15 @@ class HardwareModel:
     ``(t_start, t_end)`` of the emitted sequence.
     """
 
-    def __init__(self, grid: GridManager):
+    def __init__(self, grid: GridManager, profile: HardwareProfile | None = None):
         self.grid = grid
+        self.profile = profile or getattr(grid, "profile", DEFAULT_PROFILE)
+        self._times = self.profile.gate_times
 
     # ----------------------------------------------------------- primitives
     def duration(self, name: str) -> float:
         try:
-            return GATE_TIMES_US[name]
+            return self._times[name]
         except KeyError:
             raise ValueError(f"unknown native operation {name!r}") from None
 
@@ -79,7 +117,7 @@ class HardwareModel:
         t_min: float = 0.0,
         label: str | None = None,
     ) -> tuple[float, float]:
-        if name not in GATE_TIMES_US or name in {"ZZ", "Move", "Junction"}:
+        if name not in self._times or name in {"ZZ", "Move", "Junction"}:
             raise ValueError(f"{name!r} is not a single-site native operation")
         return self.grid.schedule_gate1(circuit, name, ion, self.duration(name), t_min, label)
 

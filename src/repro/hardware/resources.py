@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.hardware.circuit import HardwareCircuit
 from repro.hardware.grid import GridManager
-from repro.util.geometry import ZONE_PITCH_M
 
 __all__ = ["ResourceReport", "estimate_resources"]
 
@@ -42,6 +41,8 @@ class ResourceReport:
     n_instructions: int
     #: Per-gate-name instruction counts.
     gate_histogram: dict[str, int]
+    #: Name of the hardware profile the circuit was compiled under.
+    profile: str = "baseline"
 
     ROW_FIELDS = (
         "operation",
@@ -56,8 +57,9 @@ class ResourceReport:
         "n_instructions",
     )
 
-    def row(self) -> str:
-        return (
+    def row(self, with_profile: bool = False) -> str:
+        prefix = f"{self.profile:<16} " if with_profile else ""
+        return prefix + (
             f"{self.operation:<22} {self.dx:>3} {self.dz:>3} "
             f"{self.computation_time_s:>12.6f} {self.grid_area_m2:>12.4e} "
             f"{self.spacetime_volume_s_m2:>14.4e} {self.n_trapping_zones:>6} "
@@ -66,8 +68,9 @@ class ResourceReport:
         )
 
     @staticmethod
-    def header() -> str:
-        return (
+    def header(with_profile: bool = False) -> str:
+        prefix = f"{'profile':<16} " if with_profile else ""
+        return prefix + (
             f"{'operation':<22} {'dx':>3} {'dz':>3} {'time_s':>12} {'area_m2':>12} "
             f"{'volume_s_m2':>14} {'zones':>6} {'zone_s':>12} {'active_zone_s':>14} "
             f"{'n_instr':>8}"
@@ -114,12 +117,13 @@ def estimate_resources(
     else:
         time_s = 0.0
 
+    pitch_m = grid.profile.zone_pitch_m
     sites = np.fromiter(circuit.used_sites(), dtype=np.int64, count=-1)
     if len(sites):
         r, c = np.divmod(sites, grid.width)
         r0, r1 = int(r.min()), int(r.max())
         c0, c1 = int(c.min()), int(c.max())
-        area = ((r1 - r0 + 1) * ZONE_PITCH_M) * ((c1 - c0 + 1) * ZONE_PITCH_M)
+        area = ((r1 - r0 + 1) * pitch_m) * ((c1 - c0 + 1) * pitch_m)
         zone_grid = grid.zone_mask().reshape(grid.height, grid.width)
         zones = int(zone_grid[r0 : r1 + 1, c0 : c1 + 1].sum())
     else:
@@ -140,4 +144,5 @@ def estimate_resources(
         active_zone_seconds=active,
         n_instructions=cols.n,
         gate_histogram=circuit.gate_histogram(),
+        profile=grid.profile.name,
     )

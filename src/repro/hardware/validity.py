@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hardware.circuit import HardwareCircuit, Instruction, name_code
-from repro.hardware.grid import GridManager, JUNCTION_HOP_US, MOVE_US
+from repro.hardware.grid import GridManager
 
 __all__ = [
     "CircuitValidityError",
@@ -138,12 +138,14 @@ def check_circuit_reference(
                 raise CircuitValidityError("moves must start and end on trapping zones", inst)
             junction = grid.junction_between(src, dst)
             if dst in grid.neighbors(src):
-                if abs(dur - MOVE_US) > _EPS:
-                    raise CircuitValidityError(f"adjacent-zone move must take {MOVE_US} µs", inst)
-            elif junction is not None:
-                if abs(dur - JUNCTION_HOP_US) > _EPS:
+                if abs(dur - grid.move_us) > _EPS:
                     raise CircuitValidityError(
-                        f"junction crossing must take {JUNCTION_HOP_US} µs", inst
+                        f"adjacent-zone move must take {grid.move_us} µs", inst
+                    )
+            elif junction is not None:
+                if abs(dur - grid.junction_hop_us) > _EPS:
+                    raise CircuitValidityError(
+                        f"junction crossing must take {grid.junction_hop_us} µs", inst
                     )
                 if t + _EPS < junction_free.get(junction, 0.0):
                     raise CircuitValidityError(
@@ -302,9 +304,9 @@ def check_circuit(
         crossing = junction >= 0
         if not (adjacent | crossing).all():
             return fail()
-        if (np.abs(dur[move_idx[adjacent]] - MOVE_US) > _EPS).any():
+        if (np.abs(dur[move_idx[adjacent]] - grid.move_us) > _EPS).any():
             return fail()
-        if (np.abs(dur[move_idx[crossing]] - JUNCTION_HOP_US) > _EPS).any():
+        if (np.abs(dur[move_idx[crossing]] - grid.junction_hop_us) > _EPS).any():
             return fail()
         junction_ids = junction[crossing]
         # Junction exclusivity: within each junction's crossings (already in

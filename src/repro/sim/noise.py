@@ -49,6 +49,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.hardware.model import SINGLE_QUBIT_GATES
+from repro.hardware.profile import DEFAULT_PROFILE, HardwareProfile, get_profile
 from repro.sim.packed import PackedTableau
 
 __all__ = ["NoiseParams", "NoiseModel", "NOISE_PRESETS"]
@@ -92,18 +93,20 @@ class NoiseParams:
         )
 
 
-#: Named parameter sets.  ``near_term`` mirrors demonstrated trapped-ion
-#: fidelities (two-qubit ~99.8%, SPAM ~99.7%, seconds-scale T2); ``projected``
-#: is the order-of-magnitude improvement architecture studies assume.
-NOISE_PRESETS: dict[str, NoiseParams] = {
-    "ideal": NoiseParams(name="ideal"),
-    "near_term": NoiseParams(
-        name="near_term", p1=2e-4, p2=2e-3, p_prep=2e-3, p_meas=3e-3, t2_us=2e6
-    ),
-    "projected": NoiseParams(
-        name="projected", p1=1e-5, p2=2e-4, p_prep=2e-4, p_meas=3e-4, t2_us=2e7
-    ),
-}
+def _presets_of(profile: HardwareProfile) -> dict[str, NoiseParams]:
+    """Materialize a profile's declared noise presets as ``NoiseParams``."""
+    return {
+        name: NoiseParams(name=name, **profile.preset_params(name))
+        for name in profile.preset_names
+    }
+
+
+#: Named parameter sets of the default hardware profile.  ``near_term``
+#: mirrors demonstrated trapped-ion fidelities (two-qubit ~99.8%, SPAM
+#: ~99.7%, seconds-scale T2); ``projected`` is the order-of-magnitude
+#: improvement architecture studies assume.  Other profiles declare their
+#: own sets — use ``NoiseModel.preset(name, profile=...)``.
+NOISE_PRESETS: dict[str, NoiseParams] = _presets_of(DEFAULT_PROFILE)
 
 
 class NoiseModel:
@@ -120,12 +123,18 @@ class NoiseModel:
 
     # ------------------------------------------------------------- factories
     @classmethod
-    def preset(cls, name: str) -> "NoiseModel":
+    def preset(
+        cls, name: str, profile: "HardwareProfile | str | None" = None
+    ) -> "NoiseModel":
+        """Named preset, resolved against ``profile`` (default profile if None)."""
+        presets = (
+            NOISE_PRESETS if profile is None else _presets_of(get_profile(profile))
+        )
         try:
-            return cls(NOISE_PRESETS[name])
+            return cls(presets[name])
         except KeyError:
             raise ValueError(
-                f"unknown noise preset {name!r}; choose from {sorted(NOISE_PRESETS)}"
+                f"unknown noise preset {name!r}; choose from {sorted(presets)}"
             ) from None
 
     @classmethod

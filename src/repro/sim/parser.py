@@ -13,8 +13,7 @@ junction crossings by grid geometry, which is why parsing needs the grid).
 from __future__ import annotations
 
 from repro.hardware.circuit import HardwareCircuit
-from repro.hardware.grid import GridManager, JUNCTION_HOP_US, MOVE_US
-from repro.hardware.model import GATE_TIMES_US
+from repro.hardware.grid import GridManager
 
 __all__ = ["parse_circuit", "ParseError"]
 
@@ -29,14 +28,20 @@ class ParseError(ValueError):
 
 def _move_duration(grid: GridManager, src: int, dst: int) -> float:
     if dst in grid.neighbors(src):
-        return MOVE_US
+        return grid.move_us
     if grid.junction_between(src, dst) is not None:
-        return JUNCTION_HOP_US
+        return grid.junction_hop_us
     raise ValueError(f"{src} -> {dst} is not a legal hop")
 
 
 def parse_circuit(text: str, grid: GridManager) -> HardwareCircuit:
-    """Parse circuit text back into a :class:`HardwareCircuit`."""
+    """Parse circuit text back into a :class:`HardwareCircuit`.
+
+    Durations come from the grid's hardware profile, so a circuit written
+    under one profile re-parses with the same timings only under a grid
+    carrying that profile.
+    """
+    gate_times = grid.profile.gate_times
     circuit = HardwareCircuit()
     n_measures = 0
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -77,11 +82,11 @@ def parse_circuit(text: str, grid: GridManager) -> HardwareCircuit:
         elif name == "ZZ":
             if len(sites) != 2:
                 raise ParseError(lineno, raw, "ZZ takes two qsites")
-            duration = GATE_TIMES_US["ZZ"]
-        elif name in GATE_TIMES_US:
+            duration = gate_times["ZZ"]
+        elif name in gate_times:
             if len(sites) != 1:
                 raise ParseError(lineno, raw, f"{name} takes one qsite")
-            duration = GATE_TIMES_US[name]
+            duration = gate_times[name]
         else:
             raise ParseError(lineno, raw, f"unknown operation {name!r}")
 

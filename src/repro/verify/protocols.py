@@ -16,7 +16,7 @@ import numpy as np
 from repro.code.arrangements import Arrangement
 from repro.code.logical_qubit import LogicalQubit
 from repro.hardware.circuit import HardwareCircuit
-from repro.hardware.grid import GridManager
+from repro.hardware.grid import grid_for_patch
 from repro.hardware.model import HardwareModel
 from repro.sim.interpreter import CircuitInterpreter
 from repro.verify.frames import logical_pauli_vector
@@ -37,7 +37,7 @@ __all__ = [
 
 
 def _fresh(dx: int, dz: int, arrangement: Arrangement, margin: tuple[int, int] = (2, 2)):
-    grid = GridManager(dz + margin[0], dx + margin[1])
+    grid = grid_for_patch(None, dx, dz, margin)
     model = HardwareModel(grid)
     lq = LogicalQubit(grid, model, dx=dx, dz=dz, arrangement=arrangement)
     occ0 = grid.occupancy()

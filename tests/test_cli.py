@@ -236,3 +236,84 @@ class TestShardedSweeps:
         # Resource rows are fully deterministic: cached table == computed table.
         rows = [line for line in first.splitlines() if line.startswith("Idle")]
         assert rows and rows == [line for line in second.splitlines() if line.startswith("Idle")]
+
+
+class TestHardwareProfiles:
+    """The --profile axis and the `tiscc profiles` inspection subcommand."""
+
+    def test_profiles_list_smoke(self, capsys):
+        code, out = run_cli(capsys, "profiles", "list")
+        assert code == 0
+        for name in ("baseline", "slow_junction", "fast_projected"):
+            assert name in out
+        assert "fingerprint" in out
+
+    def test_profiles_show_smoke(self, capsys):
+        code, out = run_cli(capsys, "profiles", "show", "slow_junction")
+        assert code == 0
+        assert "slow_junction" in out and "junction_us: 525" in out
+        assert "near_term" in out
+
+    def test_profiles_show_json_round_trips(self, capsys):
+        from repro.hardware.profile import HardwareProfile, get_profile
+
+        code, out = run_cli(capsys, "profiles", "show", "fast_projected", "--json")
+        assert code == 0
+        assert HardwareProfile.from_dict(json.loads(out)) == get_profile("fast_projected")
+
+    def test_unknown_profile_is_one_line_error(self, capsys):
+        for argv in (
+            ["compile", "--op", "Idle", "--profile", "nope"],
+            ["sweep", "--op", "Idle", "--distances", "3", "--profile", "nope"],
+            ["dem", "--distance", "3", "--rate", "1e-3", "--profile", "nope"],
+            ["profiles", "show", "nope"],
+        ):
+            code, out = run_cli(capsys, *argv)
+            assert code == 2
+            assert "unknown hardware profile" in out
+            assert "Traceback" not in out
+
+    def test_sweep_profile_axis_one_run(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "--op", "Idle", "--distances", "3",
+            "--profile", "baseline", "--profile", "slow_junction",
+        )
+        assert code == 0
+        rows = [line for line in out.splitlines() if line.startswith(("baseline", "slow_junction"))]
+        assert len(rows) == 2
+        # Same instruction count, different makespan: the calibration moved.
+        assert rows[0].split()[-1] == rows[1].split()[-1]
+        assert rows[0].split()[4] != rows[1].split()[4]
+
+    def test_default_sweep_has_no_profile_column(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--op", "Idle", "--distances", "3")
+        assert code == 0
+        assert "profile" not in out
+
+    def test_explicit_baseline_matches_default_output(self, capsys):
+        base_args = ["sweep", "--op", "Idle", "--distances", "3"]
+        _, implicit = run_cli(capsys, *base_args)
+        code, explicit = run_cli(capsys, *base_args, "--profile", "baseline")
+        assert code == 0
+        assert explicit == implicit
+
+    def test_compile_with_profile_path(self, capsys, tmp_path):
+        from repro.hardware.profile import get_profile
+
+        path = tmp_path / "custom.json"
+        get_profile("fast_projected").renamed("custom").dump(path)
+        code, out = run_cli(
+            capsys, "compile", "--op", "Idle", "--dx", "3", "--dz", "3",
+            "--profile", str(path), "--resources",
+        )
+        assert code == 0
+        assert "profile custom" in out and "custom" in out
+
+    def test_lfr_profile_column_and_preset_resolution(self, capsys):
+        code, out = run_cli(
+            capsys, "lfr", "--distances", "3", "--noise", "near_term",
+            "--shots", "100", "--profile", "fast_projected",
+        )
+        assert code == 0
+        assert "fast_projected" in out
+        assert "profile" in out
