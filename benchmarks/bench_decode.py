@@ -16,8 +16,21 @@ Run directly::
     python benchmarks/bench_decode.py --quick    # CI smoke: d=5, 2000 shots, >=3x
     python benchmarks/bench_decode.py --json BENCH_decode.json
     python benchmarks/bench_decode.py --min-speedup 2   # nightly regression gate
+    python benchmarks/bench_decode.py --window --quick  # sliding-window gates
+    python benchmarks/bench_decode.py --window --json BENCH_decode.json
 
 or via pytest (quick scale): ``pytest benchmarks/bench_decode.py -s``.
+
+``--window`` switches to the sliding-window acceptance gates: at every
+standard sweep point the windowed decoder's LER must lie inside the
+whole-block decoder's Wilson 95% interval (and vice versa — same
+syndromes, so any real divergence shows immediately); the windowed
+decoder's per-window state must stay *constant* as rounds grow from
+``10·d`` to ``20·d`` while whole-block state doubles (array-size
+accounting — the O(window) memory claim); and windowed throughput must
+clear a shots/s floor.  With ``--json`` pointing at an existing results
+file the window section is merged in under a ``"window"`` key, extending
+BENCH_decode.json rather than replacing it.
 """
 
 from __future__ import annotations
@@ -216,6 +229,148 @@ def run_bench(d: int = 7, shots: int = 20000, seed: int = 0) -> dict:
     }
 
 
+#: Standard sweep points of the windowed-vs-whole-block parity gate:
+#: (distance, noise spec) with a shots budget per scale.  ``"near_term"``
+#: is the calibrated preset; floats become single-knob uniform models.
+WINDOW_SWEEP_POINTS = [
+    (3, 3e-4),
+    (3, 1e-3),
+    (3, 5e-3),
+    (3, "near_term"),
+    (5, 1e-3),
+    (5, 5e-3),
+    (5, "near_term"),
+]
+WINDOW_SWEEP_POINTS_QUICK = [(3, 1e-3), (3, 5e-3), (3, "near_term"), (5, 5e-3)]
+
+
+def _window_model(spec) -> NoiseModel:
+    return NoiseModel.preset(spec) if isinstance(spec, str) else NoiseModel.uniform(spec)
+
+
+def run_window_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Sliding-window acceptance run: LER parity, O(window) memory, throughput.
+
+    Every point decodes the *same* syndrome batch whole-block and windowed
+    (default window ``2d``/commit ``d``), so the Wilson-interval parity
+    check compares decoders, not sampling noise.  Points run at
+    ``rounds = 10·d`` — long enough that the window genuinely slides
+    (at the default ``rounds = d`` a ``2d`` window would degenerate to a
+    single whole-block window and the parity gate would test nothing).
+    """
+    from repro.util.stats import intervals_overlap, wilson_interval
+
+    shots = 2000 if quick else 10000
+    points = WINDOW_SWEEP_POINTS_QUICK if quick else WINDOW_SWEEP_POINTS
+    rows = []
+    parity_ok = True
+    worst_throughput = float("inf")
+    for d, spec in points:
+        model = _window_model(spec)
+        experiment = MemoryExperiment(distance=d, rounds=10 * d, basis="Z")
+        samples = experiment.sample_frame(shots, noise=model, seed=seed)
+        dets, raw = samples.detectors, samples.observables[:, 0]
+
+        whole = experiment.decoder_for(model)
+        t0 = time.perf_counter()
+        fail_whole = int((raw ^ whole.decode_batch(dets)).sum())
+        t_whole = time.perf_counter() - t0
+
+        win = experiment.decoder_for(model, "union_find_windowed")
+        t0 = time.perf_counter()
+        fail_win = int((raw ^ win.decode_batch(dets)).sum())
+        t_win = time.perf_counter() - t0
+
+        iv_whole = wilson_interval(fail_whole, shots)
+        iv_win = wilson_interval(fail_win, shots)
+        overlap = intervals_overlap(iv_whole, iv_win)
+        parity_ok = parity_ok and overlap
+        worst_throughput = min(worst_throughput, shots / t_win)
+        rows.append(
+            {
+                "d": d,
+                "noise": model.name,
+                "shots": shots,
+                "window": win.window,
+                "commit": win.commit,
+                "ler_whole": fail_whole / shots,
+                "ler_windowed": fail_win / shots,
+                "wilson_whole": list(iv_whole),
+                "wilson_windowed": list(iv_win),
+                "wilson_overlap": overlap,
+                "whole_shots_per_second": shots / t_whole,
+                "windowed_shots_per_second": shots / t_win,
+            }
+        )
+
+    # O(window) memory: stretching the experiment from rounds=10d to 20d
+    # doubles the whole-block decoder's detector state but must leave the
+    # windowed decoder's per-window state untouched (array-size accounting;
+    # the streaming buffer is likewise window-bound by construction).
+    memory_rows = []
+    memory_ok = True
+    d_mem = 3 if quick else 5
+    model = _window_model(1e-3)
+    peaks = {}
+    for rounds in (10 * d_mem, 20 * d_mem):
+        experiment = MemoryExperiment(distance=d_mem, rounds=rounds, basis="Z")
+        win = experiment.decoder_for(model, "union_find_windowed")
+        peaks[rounds] = win.peak_window_detectors
+        memory_rows.append(
+            {
+                "d": d_mem,
+                "rounds": rounds,
+                "whole_block_detectors": experiment.n_detectors,
+                "peak_window_detectors": win.peak_window_detectors,
+                "window_kinds": win.n_window_kinds,
+            }
+        )
+    memory_ok = (
+        peaks[10 * d_mem] == peaks[20 * d_mem]
+        and peaks[20 * d_mem] < memory_rows[-1]["whole_block_detectors"]
+    )
+
+    return {
+        "mode": "window",
+        "quick": quick,
+        "shots": shots,
+        "points": rows,
+        "parity_ok": parity_ok,
+        "memory": memory_rows,
+        "memory_ok": memory_ok,
+        "min_windowed_shots_per_second": worst_throughput,
+    }
+
+
+def report_window(res: dict) -> None:
+    print_table(
+        f"sliding-window vs whole-block union-find ({res['shots']} shots/point)",
+        ["d", "noise", "w/c", "LER whole", "LER windowed", "overlap", "win shots/s"],
+        [
+            [
+                str(r["d"]),
+                r["noise"],
+                f"{r['window']}/{r['commit']}",
+                f"{r['ler_whole']:.5f}",
+                f"{r['ler_windowed']:.5f}",
+                "yes" if r["wilson_overlap"] else "NO",
+                f"{r['windowed_shots_per_second']:.0f}",
+            ]
+            for r in res["points"]
+        ],
+    )
+    for m in res["memory"]:
+        print(
+            f"d={m['d']} rounds={m['rounds']}: whole-block state "
+            f"{m['whole_block_detectors']} detectors vs windowed peak "
+            f"{m['peak_window_detectors']} ({m['window_kinds']} window kinds)"
+        )
+    print(
+        f"parity_ok={res['parity_ok']} memory_ok={res['memory_ok']} "
+        f"worst windowed throughput {res['min_windowed_shots_per_second']:.0f} shots/s"
+    )
+
+
 def report(res: dict) -> None:
     print_table(
         f"batched decode throughput (d={res['d']}, {res['shots']} shots, "
@@ -253,6 +408,14 @@ def test_decode_speedup():
     assert res["weighted_not_worse"]
 
 
+def test_windowed_decode_gates():
+    """Quick-scale pytest entry for the sliding-window acceptance gates."""
+    res = run_window_bench(quick=True)
+    report_window(res)
+    assert res["parity_ok"]
+    assert res["memory_ok"]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -268,8 +431,55 @@ def main(argv: list[str] | None = None) -> int:
         help="fail below this decode speedup (default: 10 full, 3 quick; "
         "nightly passes 2 as a >5x-regression-from-10x gate)",
     )
+    parser.add_argument(
+        "--window",
+        action="store_true",
+        help="run the sliding-window gates (LER parity, O(window) memory, "
+        "shots/s floor) instead of the legacy-vs-rewrite comparison",
+    )
+    parser.add_argument(
+        "--min-window-shots",
+        type=float,
+        default=None,
+        help="fail below this windowed decode throughput in shots/s at the "
+        "slowest sweep point (default: 100 — an order of magnitude under "
+        "the measured worst case, a pathological-slowdown smoke gate)",
+    )
     parser.add_argument("--json", default=None, help="write results to a JSON file")
     args = parser.parse_args(argv)
+    if args.window:
+        floor = args.min_window_shots if args.min_window_shots is not None else 100.0
+        res = run_window_bench(quick=args.quick, seed=args.seed)
+        res["min_window_shots_per_second"] = floor
+        report_window(res)
+        if args.json:
+            merged: dict = {}
+            try:
+                with open(args.json) as fh:
+                    merged = json.load(fh)
+            except (FileNotFoundError, json.JSONDecodeError):
+                pass
+            if not isinstance(merged, dict):
+                merged = {}
+            merged["window"] = res
+            with open(args.json, "w") as fh:
+                json.dump(merged, fh, indent=2)
+            print(f"wrote {args.json} (window section)")
+        throughput_ok = res["min_windowed_shots_per_second"] >= floor
+        if not (res["parity_ok"] and res["memory_ok"] and throughput_ok):
+            print(
+                f"FAIL: need Wilson-interval parity at every point, constant "
+                f"O(window) state, and >= {floor:.0f} shots/s windowed "
+                f"(got parity_ok={res['parity_ok']}, memory_ok={res['memory_ok']}, "
+                f"{res['min_windowed_shots_per_second']:.0f} shots/s)"
+            )
+            return 1
+        print(
+            f"OK: windowed LER inside Wilson interval at every point, "
+            f"O(window) state constant under 2x rounds, "
+            f">= {floor:.0f} shots/s"
+        )
+        return 0
     d = args.d if args.d is not None else (5 if args.quick else 7)
     shots = args.shots if args.shots is not None else (2000 if args.quick else 20000)
     target = args.min_speedup if args.min_speedup is not None else (3.0 if args.quick else 10.0)

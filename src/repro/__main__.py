@@ -15,6 +15,8 @@ Examples::
     tiscc lfr --distances 3 --noise near_term --shots 500
     tiscc lfr --distances 3 5 7 --rates 1e-3 --shots 20000 --engine frame
     tiscc lfr --distances 3 --rates 1e-3 --decoder union_find_unweighted
+    tiscc lfr --distances 3 5 --rates 1e-3 --decoder union_find_windowed --window 6 --commit 3
+    tiscc lfr --distances 3 --rates 1e-3 --jobs 4 --shot-shards 4 --checkpoint runs/lfr
     tiscc lfr --distances 3 5 7 --rates 1e-3 3e-3 --jobs 4 --checkpoint runs/lfr
     tiscc lfr --distances 3 5 7 --rates 1e-3 3e-3 --jobs 4 --checkpoint runs/lfr --resume
     tiscc sweep --op CNOT --distances 3 5 7 --jobs 2 --checkpoint runs/cnot --resume
@@ -249,6 +251,37 @@ def _print_job_summary(args: argparse.Namespace, stats: dict) -> None:
     )
 
 
+def _validate_window_args(args: argparse.Namespace) -> str | None:
+    """One-line complaint for inconsistent sliding-window options, or None."""
+    if args.commit is not None and args.window is None:
+        return "--commit requires --window W (there is no window to commit into)"
+    if args.window is not None and args.window < 2:
+        return f"--window must span at least 2 time slices (got {args.window})"
+    if args.commit is not None and args.commit < 1:
+        return f"--commit must be at least 1 slice (got {args.commit})"
+    if args.window is not None and args.commit is not None and args.commit >= args.window:
+        return (
+            f"--commit ({args.commit}) must be smaller than --window "
+            f"({args.window}); the trailing buffer absorbs boundary artifacts"
+        )
+    if args.window is not None or args.commit is not None:
+        from repro.decode.base import decoder_class
+
+        effective = args.decoder or "union_find"
+        if not decoder_class(effective).wants_layout:
+            return (
+                f"--window/--commit only apply to windowed decoders, not "
+                f"{effective!r} (try --decoder union_find_windowed)"
+            )
+    if args.shot_shards < 1:
+        return f"--shot-shards must be at least 1 (got {args.shot_shards})"
+    if args.shot_shards > 1 and args.jobs <= 1 and args.checkpoint is None:
+        return "--shot-shards needs --jobs N or --checkpoint DIR to fan out over"
+    if args.shot_shards > 1 and args.engine != "frame":
+        return "--shot-shards requires --engine frame (per-shot seed streams)"
+    return None
+
+
 def _validate_rates(
     rates: list[float] | None,
     scales: list[float] | None = None,
@@ -283,6 +316,7 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
         _validate_distances(args.distances)
         or _validate_rates(args.rates, args.scales)
         or _validate_job_args(args)
+        or _validate_window_args(args)
     )
     if complaint:
         print(complaint)
@@ -312,6 +346,9 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             resume=args.resume,
             stats=stats,
+            window=args.window,
+            commit=args.commit,
+            shot_shards=args.shot_shards,
         )
     except ValueError as err:
         # Bad rates/scales/distances/decoders/profiles — and unusable
@@ -602,6 +639,27 @@ def main(argv: list[str] | None = None) -> int:
         choices=available_decoders(),
         default=None,
         help="registered decoder (default: weighted union-find on the DEM graph)",
+    )
+    p_lfr.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="sliding-window width in time slices for --decoder "
+        "union_find_windowed (default: 2*distance)",
+    )
+    p_lfr.add_argument(
+        "--commit",
+        type=int,
+        default=None,
+        help="slices committed per window advance (default: distance; "
+        "must be < --window)",
+    )
+    p_lfr.add_argument(
+        "--shot-shards",
+        type=int,
+        default=1,
+        help="split each cell's shot axis into N disjoint shards so decode "
+        "fans out across --jobs workers (frame engine only)",
     )
     p_lfr.add_argument("--json", default=None, help="also write reports to a JSON file")
     _add_profile_argument(p_lfr, repeatable=True)

@@ -7,12 +7,19 @@ weights), :mod:`repro.decode.base` defines the :class:`Decoder` protocol
 and registry (``get_decoder("union_find" | "union_find_unweighted" |
 "lookup")``), :mod:`repro.decode.union_find` implements the batched
 weighted union-find hot path, :mod:`repro.decode.lookup` the exact
-small-graph table decoder, and :mod:`repro.decode.memory` packages the
-standard memory experiment that drives distance/rate sweeps and the
-``tiscc lfr`` CLI.
+small-graph table decoder, :mod:`repro.decode.window` the sliding-window
+streaming driver (``union_find_windowed``) with O(window) decoder state,
+and :mod:`repro.decode.memory` packages the standard memory experiment
+that drives distance/rate sweeps and the ``tiscc lfr`` CLI.
 """
 
-from repro.decode.base import Decoder, available_decoders, get_decoder, register_decoder
+from repro.decode.base import (
+    Decoder,
+    available_decoders,
+    decoder_class,
+    get_decoder,
+    register_decoder,
+)
 from repro.decode.graph import (
     BOUNDARY,
     DetectorEdge,
@@ -23,6 +30,7 @@ from repro.decode.graph import (
 from repro.decode.lookup import LookupDecoder
 from repro.decode.memory import MemoryExperiment
 from repro.decode.union_find import UnionFindDecoder, UnweightedUnionFindDecoder
+from repro.decode.window import WindowedUnionFindDecoder
 
 __all__ = [
     "BOUNDARY",
@@ -32,10 +40,12 @@ __all__ = [
     "build_dem_graph",
     "Decoder",
     "available_decoders",
+    "decoder_class",
     "get_decoder",
     "register_decoder",
     "UnionFindDecoder",
     "UnweightedUnionFindDecoder",
+    "WindowedUnionFindDecoder",
     "LookupDecoder",
     "MemoryExperiment",
 ]

@@ -19,7 +19,15 @@ Built-in entries:
   (the ablation arm of weighted-vs-unweighted comparisons);
 * ``"lookup"`` — an exact minimum-weight lookup table over the full
   syndrome space, viable only for small graphs (d=3 memories) and used as
-  the equivalence oracle of the test suite.
+  the equivalence oracle of the test suite;
+* ``"union_find_windowed"`` — sliding-window (overlapping-commit) driver
+  over the weighted union-find engine: O(window) decoder state for
+  rounds ≫ d experiments.  It needs the detector layout and window shape
+  at construction, which it declares via the class attribute
+  ``wants_layout = True`` — callers that know the layout (e.g.
+  :meth:`MemoryExperiment.decoder_for`) check
+  ``decoder_class(name).wants_layout`` and pass ``n_faces``/``window``/
+  ``commit`` through :func:`get_decoder`.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ __all__ = [
     "Decoder",
     "register_decoder",
     "get_decoder",
+    "decoder_class",
     "available_decoders",
     "integer_weights",
 ]
@@ -56,6 +65,9 @@ class Decoder(abc.ABC):
 
     #: Registry key; subclasses must override.
     name: str = ""
+    #: True when the constructor needs the detector layout (``n_faces``)
+    #: and window shape (``window``/``commit``) in addition to the graph.
+    wants_layout: bool = False
 
     def __init__(self, graph: MatchingGraph):
         self.graph = graph
@@ -102,7 +114,7 @@ def register_decoder(cls: type[Decoder]) -> type[Decoder]:
 
 def _ensure_builtin_decoders() -> None:
     """Import the built-in decoder modules so their registrations run."""
-    from repro.decode import lookup, union_find  # noqa: F401
+    from repro.decode import lookup, union_find, window  # noqa: F401
 
 
 def available_decoders() -> list[str]:
@@ -125,6 +137,21 @@ def get_decoder(name: str, graph: MatchingGraph, **kwargs) -> Decoder:
             f"unknown decoder {name!r}; choose from {available_decoders()}"
         ) from None
     return cls(graph, **kwargs)
+
+
+def decoder_class(name: str) -> type[Decoder]:
+    """The registered decoder class for ``name`` without instantiating it.
+
+    Lets callers inspect class-level protocol flags (``wants_layout``)
+    before deciding which constructor arguments to supply.
+    """
+    _ensure_builtin_decoders()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown decoder {name!r}; choose from {available_decoders()}"
+        ) from None
 
 
 def integer_weights(

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.compiler import TISCC
-from repro.decode.base import Decoder, get_decoder
+from repro.decode.base import Decoder, decoder_class, get_decoder
 from repro.hardware.profile import DEFAULT_PROFILE, HardwareProfile, get_profile
 from repro.decode.graph import MatchingGraph, build_dem_graph, build_memory_graph
 from repro.estimator.report import LogicalErrorReport
@@ -125,6 +125,7 @@ class _MemoryCore:
     graph: MatchingGraph
     fault_tables: dict = field(default_factory=dict)
     dem_graphs: dict = field(default_factory=dict)
+    frame_samplers: dict = field(default_factory=dict)
 
 
 #: (dx, dz, rounds, basis, profile fingerprint) -> compiled core, LRU-capped.
@@ -245,9 +246,13 @@ class MemoryExperiment:
         basis: str = "Z",
         decoder: str = "union_find",
         profile: HardwareProfile | str | None = None,
+        window: int | None = None,
+        commit: int | None = None,
     ):
         if basis not in ("Z", "X"):
             raise ValueError("memory basis must be 'Z' or 'X'")
+        if commit is not None and window is None:
+            raise ValueError("commit without window makes no sense")
         if distance is not None:
             dx = dz = distance
         if dx is None or dz is None:
@@ -292,13 +297,18 @@ class MemoryExperiment:
         self.decoder_name = decoder
         #: DEM-built matching graphs cached per noise-parameter key.
         self._dem_graphs: dict[tuple, MatchingGraph] = core.dem_graphs
+        #: Sliding-window shape for layout-aware decoders (``None`` means
+        #: the decoder's defaults, ``2 * max(dx, dz)`` / ``max(dx, dz)``);
+        #: ignored by whole-block decoders.
+        self.window = window
+        self.commit = commit
         #: Built decoders cached per (name, graph key) — deliberately
         #: *per instance*, never on the shared core: decoders carry mutable
         #: scratch state, and the documented way to parallelize is one
         #: experiment (hence one decoder) per worker.
         self._decoders: dict[tuple, Decoder] = {}
-        self.decoder: Decoder = get_decoder(decoder, self.graph)
-        self._decoders[("schedule", decoder)] = self.decoder
+        self.decoder: Decoder = self._build_decoder(decoder, self.graph)
+        self._decoders[self._decoder_key("schedule", decoder)] = self.decoder
 
     @staticmethod
     def clear_compile_cache() -> None:
@@ -412,6 +422,31 @@ class MemoryExperiment:
             self._dem_graphs[key] = cached
         return cached
 
+    def _decoder_key(self, graph_key, name: str) -> tuple:
+        """Cache key of one built decoder.
+
+        Layout-aware decoders additionally key on the experiment's window
+        shape, so two experiments over the same core that differ only in
+        ``(window, commit)`` never share an instance.
+        """
+        key: tuple = (graph_key, name)
+        if decoder_class(name).wants_layout:
+            key += (self.window, self.commit)
+        return key
+
+    def _build_decoder(self, name: str, graph: MatchingGraph) -> Decoder:
+        """Instantiate decoder ``name`` over ``graph`` with layout kwargs if wanted."""
+        if decoder_class(name).wants_layout:
+            d = max(self.dx, self.dz)
+            return get_decoder(
+                name,
+                graph,
+                n_faces=len(self.faces),
+                window=self.window if self.window is not None else 2 * d,
+                commit=self.commit if self.commit is not None else d,
+            )
+        return get_decoder(name, graph)
+
     def decoder_for(
         self, noise: NoiseModel | None = None, decoder: str | None = None
     ) -> Decoder:
@@ -419,22 +454,51 @@ class MemoryExperiment:
 
         Raises :class:`ValueError` when the selected graph's detector count
         disagrees with this experiment's :attr:`n_detectors` — a mismatch
-        would otherwise decode garbage silently.
+        would otherwise decode garbage silently.  The guard runs *before*
+        the freshly built decoder enters the cache (a rejected decoder used
+        to be cached anyway, wedging every later call with the same key)
+        and again on cache hits, so externally injected instances are
+        checked too.
         """
         name = decoder if decoder is not None else self.decoder_name
         graph = self.matching_graph(noise)
-        key = ("schedule" if graph is self.graph else self._params_key(noise), name)
+        key = self._decoder_key(
+            "schedule" if graph is self.graph else self._params_key(noise), name
+        )
         built = self._decoders.get(key)
         if built is None:
-            built = get_decoder(name, graph)
+            built = self._build_decoder(name, graph)
+            if built.graph.n_detectors != self.n_detectors:
+                raise ValueError(
+                    f"decoder graph has {built.graph.n_detectors} detectors but "
+                    f"this experiment produces {self.n_detectors}; the decoder "
+                    "was built for a different detector layout"
+                )
             self._decoders[key] = built
-        if built.graph.n_detectors != self.n_detectors:
+        elif built.graph.n_detectors != self.n_detectors:
             raise ValueError(
                 f"decoder graph has {built.graph.n_detectors} detectors but "
                 f"this experiment produces {self.n_detectors}; the decoder "
                 "was built for a different detector layout"
             )
         return built
+
+    def frame_sampler(self, noise: NoiseModel | None = None) -> FrameSampler:
+        """The cached :class:`FrameSampler` for ``noise``.
+
+        Samplers are pure functions of the detector error model, so they are
+        cached per noise-parameter key on the shared core alongside
+        ``_dem_graphs`` — repeated :meth:`sample_frame` / :meth:`run` calls
+        (shot-sharded sweeps especially) stop rebuilding the sampler's index
+        arrays on every call.
+        """
+        model = noise if noise is not None else NoiseModel.preset("ideal")
+        key = self._params_key(model)
+        sampler = self._core.frame_samplers.get(key)
+        if sampler is None:
+            sampler = FrameSampler(self.detector_error_model(model))
+            self._core.frame_samplers[key] = sampler
+        return sampler
 
     def sample_frame(
         self,
@@ -450,9 +514,9 @@ class MemoryExperiment:
         :class:`~repro.sim.dem.DemExtractionError` if the compiled schedule
         is not Clifford.  Results are chunk-invariant in ``shot_offset``.
         """
-        model = noise if noise is not None else NoiseModel.preset("ideal")
-        sampler = FrameSampler(self.detector_error_model(model))
-        return sampler.sample(n_shots, seed=seed, shot_offset=shot_offset)
+        return self.frame_sampler(noise).sample(
+            n_shots, seed=seed, shot_offset=shot_offset
+        )
 
     # ------------------------------------------------------------ detectors
     def syndromes(self, batch: BatchResult) -> np.ndarray:
@@ -509,16 +573,20 @@ class MemoryExperiment:
         engine: str = "tableau",
         max_batch: int | None = None,
         decoder: str | None = None,
+        shot_offset: int = 0,
     ) -> LogicalErrorReport:
         """Sample ``n_shots``, decode them, and summarize the logical fidelity.
 
-        ``engine`` selects the sampling path: ``"tableau"`` replays the
-        packed stabilizer engine per batch (the reference), ``"frame"``
-        samples detection events directly from the detector error model —
-        no tableau at all — and falls back to the tableau engine
-        automatically if the schedule cannot be folded into a DEM
-        (non-Clifford instructions).  ``max_batch`` chunks frame sampling;
-        per-shot streams make the results identical for any chunking.
+        ``engine`` selects the sampling path.  ``"frame"`` — what rate
+        sweeps and the CLI actually run — samples detection events directly
+        from the detector error model with no tableau at all, decoding each
+        ``max_batch`` chunk as it is produced so peak memory stays
+        O(max_batch × n_detectors) however many shots are requested.
+        ``"tableau"`` (the constructor-validated default, kept as the
+        reference) replays the packed stabilizer engine per batch; the
+        frame path falls back to it automatically if the schedule cannot be
+        folded into a DEM (non-Clifford instructions).  Per-shot streams
+        make frame results identical for any ``max_batch`` chunking.
 
         On the frame path *all* randomness is noise randomness, so
         ``noise_seed`` (when given) selects the mechanism-sampling streams
@@ -527,6 +595,14 @@ class MemoryExperiment:
 
         ``decoder`` overrides the experiment's default decoder name for
         this run (recorded on the report's ``decoder`` column).
+
+        ``shot_offset`` starts the frame path's chunk-invariant per-shot
+        streams at a later global shot index, so disjoint shards
+        ``(0, k), (k, 2k), ...`` of one logical run can be drawn by
+        different workers and merged with no overlap — the shot-axis
+        sharding :func:`repro.estimator.jobs.run_cells` uses.  The tableau
+        engine has no such stream structure; a nonzero offset there is an
+        error rather than a silent statistical lie.
         """
         if engine not in ("frame", "tableau"):
             raise ValueError(f"engine must be 'frame' or 'tableau', got {engine!r}")
@@ -538,9 +614,15 @@ class MemoryExperiment:
                     seed if noise_seed is None else noise_seed,
                     max_batch,
                     decoder,
+                    shot_offset,
                 )
             except DemExtractionError:
                 pass  # automatic fallback to the reference engine
+        if shot_offset:
+            raise ValueError(
+                "shot_offset requires the frame engine's per-shot streams; "
+                "the tableau engine cannot shard the shot axis"
+            )
 
         dec = self.decoder_for(noise, decoder)
         t0 = time.perf_counter()
@@ -572,32 +654,47 @@ class MemoryExperiment:
         seed: int | None,
         max_batch: int | None,
         decoder: str | None = None,
+        shot_offset: int = 0,
     ) -> LogicalErrorReport:
-        """Frame-engine body of :meth:`run` (DEM built/cached up front)."""
-        model = noise if noise is not None else NoiseModel.preset("ideal")
-        sampler = FrameSampler(self.detector_error_model(model))
+        """Frame-engine body of :meth:`run` (DEM built/cached up front).
+
+        Streams: each ``max_batch`` chunk is sampled, decoded, and reduced
+        to integer failure/defect counts before the next chunk is drawn, so
+        peak memory is one chunk's detector matrix — ``max_batch`` really
+        is the memory bound it claims to be (the whole batch used to be
+        concatenated and decoded as one block).  Per-shot seeding makes the
+        counts identical for every chunking.
+        """
+        sampler = self.frame_sampler(noise)
         dec = self.decoder_for(noise, decoder)
 
-        t0 = time.perf_counter()
         step = max_batch if max_batch is not None and max_batch >= 1 else n_shots
-        parts = [
-            sampler.sample(min(step, n_shots - off), seed=seed, shot_offset=off)
-            for off in range(0, n_shots, step)
-        ]
-        dets = np.concatenate([p.detectors for p in parts], axis=0)
-        raw = np.concatenate([p.observables for p in parts], axis=0)[:, 0]
-        sim_seconds = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        failures = raw ^ dec.decode_batch(dets)
-        decode_seconds = time.perf_counter() - t0
+        failures = 0
+        raw_failures = 0
+        defect_total = 0
+        sim_seconds = 0.0
+        decode_seconds = 0.0
+        for off in range(0, n_shots, step):
+            t0 = time.perf_counter()
+            part = sampler.sample(
+                min(step, n_shots - off), seed=seed, shot_offset=shot_offset + off
+            )
+            t1 = time.perf_counter()
+            raw = part.observables[:, 0]
+            fail = raw ^ dec.decode_batch(part.detectors)
+            t2 = time.perf_counter()
+            sim_seconds += t1 - t0
+            decode_seconds += t2 - t1
+            failures += int(fail.sum())
+            raw_failures += int(raw.sum())
+            defect_total += int(part.detectors.sum())
 
         return self._report(
             noise,
             n_shots,
-            failures=int(failures.sum()),
-            raw_failures=int(raw.sum()),
-            mean_defects=float(dets.sum(axis=1).mean()),
+            failures=failures,
+            raw_failures=raw_failures,
+            mean_defects=defect_total / n_shots if n_shots else 0.0,
             sim_seconds=sim_seconds,
             decode_seconds=decode_seconds,
             engine="frame",

@@ -187,6 +187,23 @@ class UnionFindDecoder(Decoder):
                 out[shot] = verdict
         return out
 
+    def decode_edges(self, defect_ids) -> list[int]:
+        """Correction *edge ids* for one syndrome's fired detector indices.
+
+        The same grow-and-peel pass as :meth:`decode`, but instead of
+        collapsing the correction to its logical-frame parity it returns
+        the edges the peeling emitted — the explicit correction set a
+        sliding-window decoder needs to decide which edges fall inside its
+        commit region and which residual defects to carry forward.  An
+        empty ``defect_ids`` returns an empty list.
+        """
+        defect_ids = np.asarray(defect_ids, dtype=np.int64)
+        if defect_ids.size == 0:
+            return []
+        collect: list[int] = []
+        self._decode_defects(defect_ids, collect=collect)
+        return collect
+
     # ------------------------------------------------------------ union-find
     @staticmethod
     def _find(parent: list[int], a: int) -> int:
@@ -197,8 +214,14 @@ class UnionFindDecoder(Decoder):
             parent[a], a = root, parent[a]
         return root
 
-    def _decode_defects(self, defect_ids: np.ndarray) -> int:
-        """Grow + peel one syndrome given its fired detector indices."""
+    def _decode_defects(
+        self, defect_ids: np.ndarray, collect: list[int] | None = None
+    ) -> int:
+        """Grow + peel one syndrome given its fired detector indices.
+
+        ``collect`` (when given) receives the correction's edge ids as the
+        peeling emits them — see :meth:`decode_edges`.
+        """
         b = self.n
         parent, parity, growth = self._parent, self._parity, self._growth
         adj, eu, ev, cap = self._adj_lists, self._eu_list, self._ev_list, self._cap_list
@@ -297,7 +320,7 @@ class UnionFindDecoder(Decoder):
                     "union-find growth failed to converge"
                 )  # pragma: no cover
             support = [k for k in touched_edges if growth[k] >= cap[k]]
-            return self._peel(support, defects)
+            return self._peel(support, defects, collect=collect)
         finally:
             for node in touched_nodes:
                 parent[node] = node
@@ -306,7 +329,12 @@ class UnionFindDecoder(Decoder):
                 growth[k] = 0
 
     # --------------------------------------------------------------- peeling
-    def _peel(self, support: list[int], defects: list[int]) -> int:
+    def _peel(
+        self,
+        support: list[int],
+        defects: list[int],
+        collect: list[int] | None = None,
+    ) -> int:
         """Peel the grown support's spanning forest into a correction parity."""
         b = self.n
         eu, ev, frame = self._eu_list, self._ev_list, self._frame_list
@@ -356,6 +384,8 @@ class UnionFindDecoder(Decoder):
                 if not defect[v] or v not in parent_edge:
                     continue
                 flip ^= frame[parent_edge[v]]
+                if collect is not None:
+                    collect.append(parent_edge[v])
                 defect[v] = 0
                 defect[parent_node[v]] ^= 1
             defect[b] = 0

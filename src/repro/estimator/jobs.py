@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.estimator.cache import CheckpointError, ResultCache, content_hash
 from repro.hardware.profile import DEFAULT_PROFILE, HardwareProfile, get_profile
@@ -49,6 +50,8 @@ __all__ = [
     "payload_fingerprint",
     "logical_error_cells",
     "resource_cells",
+    "shard_cell",
+    "merge_shard_payloads",
     "execute_cell",
     "run_cells",
     "new_stats",
@@ -86,6 +89,15 @@ class SweepCell:
     #: Hardware profile the cell compiles under (``None`` = default).  The
     #: profile is frozen/hashable, so the cell stays hashable and picklable.
     profile: HardwareProfile | None = None
+    #: First global shot index of this cell's slice of the per-shot seed
+    #: streams (frame engine only).  Nonzero for shot-axis shards produced
+    #: by :func:`shard_cell`; enters the key only when nonzero, so
+    #: unsharded keys — and existing checkpoints — are unchanged.
+    shot_offset: int = 0
+    #: Sliding-window shape for layout-aware decoders (``union_find_windowed``);
+    #: ``None`` defers to the decoder defaults and keeps legacy keys stable.
+    window: int | None = None
+    commit: int | None = None
 
     def key_payload(self) -> dict:
         """The canonical parameter dict hashed into this cell's key.
@@ -114,6 +126,11 @@ class SweepCell:
                 "engine": self.engine,
                 "shots": self.shots,
                 "seed": self.seed,
+                # Non-default extensions join conditionally so the keys of
+                # every pre-existing cell (and checkpoint) are unchanged.
+                **({"shot_offset": self.shot_offset} if self.shot_offset else {}),
+                **({"window": self.window} if self.window is not None else {}),
+                **({"commit": self.commit} if self.commit is not None else {}),
             }
         if self.kind == "resource":
             payload = {
@@ -174,6 +191,8 @@ def logical_error_cells(
     max_batch: int | None = None,
     decoder: str | None = None,
     profile: HardwareProfile | str | None = None,
+    window: int | None = None,
+    commit: int | None = None,
 ) -> list[SweepCell]:
     """Cells of a logical-error sweep, distance-major like the serial loop."""
     prof = get_profile(profile)
@@ -192,6 +211,8 @@ def logical_error_cells(
             seed=seed,
             max_batch=max_batch,
             profile=prof,
+            window=window,
+            commit=commit,
         )
         for d in distances
         for model in noise_models
@@ -213,16 +234,79 @@ def resource_cells(
     ]
 
 
+def shard_cell(cell: SweepCell, shards: int) -> list[SweepCell]:
+    """Split one cell's shot axis into up to ``shards`` disjoint sub-cells.
+
+    Each shard covers a contiguous ``[shot_offset, shot_offset + shots)``
+    slice of the cell's global per-shot seed streams, so the shards sample
+    exactly the shots the unsharded cell would — decode work fans out over
+    workers while :func:`merge_shard_payloads` restores the single-cell
+    report.  Only frame-engine ``memory_lfr`` cells shard (the tableau
+    engine has no per-shot streams to slice); anything else — including a
+    cell with fewer shots than ``shards`` asks for — comes back as fewer
+    (possibly one) cells rather than empty ones.
+    """
+    if shards <= 1 or cell.kind != "memory_lfr" or cell.shots <= 0:
+        return [cell]
+    if cell.engine != "frame":
+        raise ValueError(
+            f"shot-axis sharding requires the frame engine, not {cell.engine!r}"
+        )
+    shards = min(shards, cell.shots)
+    base, extra = divmod(cell.shots, shards)
+    out: list[SweepCell] = []
+    offset = cell.shot_offset
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        out.append(replace(cell, shots=size, shot_offset=offset))
+        offset += size
+    return out
+
+
+def merge_shard_payloads(payloads: list[dict]) -> dict:
+    """Recombine the payloads of one cell's disjoint shot shards.
+
+    Counters (``n_shots``, ``failures``, ``raw_failures``) and timings sum;
+    ``mean_defects`` is re-derived from the recovered integer defect totals
+    (``round(mean * n_shots)`` is exact — float64 carries the sums of
+    billions of unit defects with error far below 0.5), so the merged value
+    equals the unsharded run's bit for bit.  Every other field is identical
+    across shards and passes through.
+    """
+    if not payloads:
+        raise ValueError("no shard payloads to merge")
+    if len(payloads) == 1:
+        return payloads[0]
+    merged = dict(payloads[0])
+    total = sum(int(p["n_shots"]) for p in payloads)
+    defects = sum(round(float(p["mean_defects"]) * int(p["n_shots"])) for p in payloads)
+    merged["n_shots"] = total
+    merged["failures"] = sum(int(p["failures"]) for p in payloads)
+    merged["raw_failures"] = sum(int(p["raw_failures"]) for p in payloads)
+    merged["mean_defects"] = defects / total if total else 0.0
+    for field_name in ("sim_seconds", "decode_seconds"):
+        merged[field_name] = float(sum(float(p[field_name]) for p in payloads))
+    # Re-derive the dependent columns (logical_error_rate, stderr, ...) from
+    # the merged counters — copying them from shard 0 would serve the first
+    # shard's rates under the full cell's shot count.
+    from repro.estimator.report import LogicalErrorReport
+
+    return LogicalErrorReport.from_dict(merged).to_dict()
+
+
 # --------------------------------------------------------------- execution
 def _maybe_inject_fault(key: str) -> None:
     """Crash/exception injection hook for the fault-tolerance test suite.
 
-    Set ``TISCC_SWEEP_FAULT`` to ``"kill"`` (SIGKILL the executing process)
-    or ``"raise"`` (raise from the cell) and ``TISCC_SWEEP_FAULT_KEY`` to a
-    cell-key prefix to target.  When ``TISCC_SWEEP_FAULT_DIR`` names a
-    directory, an ``O_EXCL`` marker file arbitrates so the fault fires
-    exactly once across all workers — the retry/resume path then has to
-    finish the job.  Inert unless the environment variables are set.
+    Set ``TISCC_SWEEP_FAULT`` to ``"kill"`` (SIGKILL the executing process),
+    ``"hang"`` (record this PID in the fault dir, then sleep far past any
+    test timeout — the stand-in for a wedged worker the degrade path must
+    terminate), or ``"raise"`` (raise from the cell), and
+    ``TISCC_SWEEP_FAULT_KEY`` to a cell-key prefix to target.  When
+    ``TISCC_SWEEP_FAULT_DIR`` names a directory, an ``O_EXCL`` marker file
+    arbitrates so the fault fires exactly once across all workers — the
+    retry/resume path then has to finish the job.  Inert unless the
+    environment variables are set.
     """
     mode = os.environ.get("TISCC_SWEEP_FAULT")
     if not mode:
@@ -239,6 +323,13 @@ def _maybe_inject_fault(key: str) -> None:
             return
     if mode == "kill":
         os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "hang":
+        if marker_dir:
+            pid_file = os.path.join(marker_dir, "hang-pid")
+            with open(pid_file, "w", encoding="utf-8") as fh:
+                fh.write(str(os.getpid()))
+        time.sleep(600.0)
+        return
     raise RuntimeError(f"injected fault for cell {key[:12]}")
 
 
@@ -258,6 +349,8 @@ def execute_cell(cell: SweepCell) -> dict:
             rounds=cell.rounds,
             basis=cell.basis,
             profile=cell.profile,
+            window=cell.window,
+            commit=cell.commit,
         )
         model = NoiseModel(cell.noise) if cell.noise is not None else None
         report = experiment.run(
@@ -267,6 +360,7 @@ def execute_cell(cell: SweepCell) -> dict:
             engine=cell.engine,
             max_batch=cell.max_batch,
             decoder=cell.decoder,
+            shot_offset=cell.shot_offset,
         )
         return report.to_dict()
     if cell.kind == "resource":
@@ -383,6 +477,34 @@ def run_cells(
     return [results[key] for key in keys]
 
 
+def _terminate_pool_workers(pool: ProcessPoolExecutor, grace: float = 5.0) -> None:
+    """Forcefully stop a degraded pool's worker processes.
+
+    ``shutdown(cancel_futures=True)`` only cancels *queued* futures; a
+    worker already executing a cell keeps running to completion — which,
+    for the wedged workers that trigger the timeout degrade, means an
+    orphaned process burning CPU on a cell the driver is about to redo
+    in-process.  Terminate every worker, escalating to SIGKILL for any
+    that outlives the grace period (a worker stuck in native code ignores
+    SIGTERM).
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for p in procs:
+        try:
+            p.terminate()
+        except Exception:
+            pass
+    deadline = time.monotonic() + grace
+    for p in procs:
+        try:
+            p.join(max(0.0, deadline - time.monotonic()))
+            if p.is_alive():
+                p.kill()
+                p.join(1.0)
+        except Exception:
+            pass
+
+
 def _run_pool(
     pending: list[tuple[str, SweepCell]],
     jobs: int,
@@ -396,7 +518,9 @@ def _run_pool(
     Cells come back to the caller (for in-process execution) when their
     retry budget is exhausted, when the pool breaks (a worker died — the
     classic SIGKILL/OOM case), or when no cell completes within
-    ``timeout`` seconds.
+    ``timeout`` seconds.  Either degrade path terminates the pool's
+    workers before handing cells back, so an in-process redo never races
+    an orphaned worker still computing the same cell.
     """
     leftovers: list[tuple[str, SweepCell]] = []
     attempts: dict[str, int] = {}
@@ -411,6 +535,7 @@ def _run_pool(
                 # pool and run the rest in-process.
                 stats["timed_out"] += len(not_done)
                 stats["degraded"] = True
+                _terminate_pool_workers(pool)
                 break
             for fut in done:
                 key, cell = futures.pop(fut)
@@ -431,8 +556,10 @@ def _run_pool(
     except BrokenProcessPool:
         # One or more workers died (SIGKILL, OOM, segfault).  Everything
         # in flight is lost; degrade gracefully to in-process execution of
-        # whatever has not been recorded yet.
+        # whatever has not been recorded yet — after stopping any workers
+        # the broken pool still has alive.
         stats["degraded"] = True
+        _terminate_pool_workers(pool)
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     finished = done_keys | {key for key, _ in leftovers}

@@ -211,6 +211,9 @@ def logical_error_sweep(
     use_cache: bool = True,
     resume: bool = True,
     stats: dict | None = None,
+    window: int | None = None,
+    commit: int | None = None,
+    shot_shards: int = 1,
 ) -> list[LogicalErrorReport]:
     """Decoded logical error rate across code distances and noise strengths.
 
@@ -230,8 +233,17 @@ def logical_error_sweep(
     chunking (a property the test suite locks down).
 
     ``decoder`` names a registered decoder (``"union_find"``,
-    ``"union_find_unweighted"``, ``"lookup"``, ...); ``None`` keeps each
-    experiment's default (weighted union-find over the DEM-built graph).
+    ``"union_find_unweighted"``, ``"union_find_windowed"``, ``"lookup"``,
+    ...); ``None`` keeps each experiment's default (weighted union-find
+    over the DEM-built graph).  ``window``/``commit`` set the sliding-
+    window shape for layout-aware decoders (ignored by whole-block ones).
+
+    ``shot_shards > 1`` splits every cell's shot axis into that many
+    disjoint slices of the per-shot seed streams so *decode* work fans out
+    across pool workers even when the sweep has fewer cells than workers;
+    the shard payloads are merged back into one report per cell
+    (bit-identical counters vs the unsharded run).  Requires the jobs path
+    (``jobs > 1`` or a checkpoint) and the frame engine.
 
     With the default ``jobs=1`` and no ``checkpoint`` the serial in-process
     loop below runs — the oracle every other execution mode must match
@@ -257,7 +269,12 @@ def logical_error_sweep(
         noise_models = [NoiseModel.uniform(p) for p in rates]
     profs = _profiles(profile)
     if jobs > 1 or checkpoint is not None:
-        from repro.estimator.jobs import logical_error_cells, run_cells
+        from repro.estimator.jobs import (
+            logical_error_cells,
+            merge_shard_payloads,
+            run_cells,
+            shard_cell,
+        )
 
         cells = []
         for prof in profs:
@@ -273,23 +290,38 @@ def logical_error_sweep(
                     max_batch=max_batch,
                     decoder=decoder,
                     profile=prof,
+                    window=window,
+                    commit=commit,
                 )
             )
+        groups = [shard_cell(c, shot_shards) for c in cells]
         payloads = run_cells(
-            cells,
+            [shard for group in groups for shard in group],
             jobs=jobs,
             checkpoint=checkpoint,
             use_cache=use_cache,
             resume=resume,
             stats=stats,
         )
-        return [LogicalErrorReport.from_dict(p) for p in payloads]
+        it = iter(payloads)
+        merged = [merge_shard_payloads([next(it) for _ in group]) for group in groups]
+        return [LogicalErrorReport.from_dict(p) for p in merged]
+    if shot_shards > 1:
+        raise ValueError(
+            "shot_shards requires the jobs path (jobs > 1 or a checkpoint); "
+            "the serial oracle has nothing to fan decode work out to"
+        )
     reports = []
     for prof in profs:
         models = _resolve_noise(noise_models, prof)
         for d in distances:
             experiment = MemoryExperiment(
-                distance=d, rounds=rounds, basis=basis, profile=prof
+                distance=d,
+                rounds=rounds,
+                basis=basis,
+                profile=prof,
+                window=window,
+                commit=commit,
             )
             for model in models:
                 reports.append(

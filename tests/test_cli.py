@@ -208,6 +208,67 @@ class TestShardedSweeps:
         assert code == 2
         assert "pass --resume" in out and "Traceback" not in out
 
+
+class TestWindowedDecoding:
+    """--decoder union_find_windowed / --window / --commit / --shot-shards."""
+
+    LFR = ["lfr", "--distances", "3", "--rates", "1e-3", "--shots", "100", "--rounds", "6"]
+
+    def test_windowed_lfr_smoke(self, capsys):
+        code, out = run_cli(
+            capsys, *self.LFR, "--decoder", "union_find_windowed",
+            "--window", "4", "--commit", "2",
+        )
+        assert code == 0
+        assert "union_find_windowed" in out
+
+    def test_window_with_whole_block_decoder_rejected(self, capsys):
+        # Includes the *default* decoder: --window without --decoder would
+        # otherwise be silently ignored by the whole-block union-find.
+        code, out = run_cli(capsys, *self.LFR, "--window", "4")
+        assert code == 2
+        assert "union_find" in out and "union_find_windowed" in out
+        assert "Traceback" not in out
+        code, out = run_cli(capsys, *self.LFR, "--decoder", "lookup", "--window", "4")
+        assert code == 2
+        assert "lookup" in out
+
+    def test_commit_without_window_rejected(self, capsys):
+        code, out = run_cli(capsys, *self.LFR, "--commit", "2")
+        assert code == 2
+        assert "--commit requires --window" in out
+
+    def test_commit_not_smaller_than_window_rejected(self, capsys):
+        code, out = run_cli(
+            capsys, *self.LFR, "--decoder", "union_find_windowed",
+            "--window", "4", "--commit", "4",
+        )
+        assert code == 2
+        assert "smaller than --window" in out
+
+    def test_shot_shards_need_somewhere_to_fan_out(self, capsys):
+        code, out = run_cli(capsys, *self.LFR, "--shot-shards", "2")
+        assert code == 2
+        assert "--shot-shards" in out and "--jobs" in out
+
+    def test_shot_shards_require_frame_engine(self, capsys):
+        code, out = run_cli(
+            capsys, *self.LFR, "--shot-shards", "2", "--jobs", "2",
+            "--engine", "tableau",
+        )
+        assert code == 2
+        assert "frame" in out
+
+    def test_shot_sharded_lfr_matches_serial(self, capsys):
+        code, serial = run_cli(capsys, *self.LFR)
+        code2, sharded = run_cli(capsys, *self.LFR, "--jobs", "2", "--shot-shards", "2")
+        assert code == 0 and code2 == 0
+        strip = [" ".join(line.split()[:10]) for line in serial.splitlines() if "ZMemory" in line]
+        strip2 = [
+            " ".join(line.split()[:10]) for line in sharded.splitlines() if "ZMemory" in line
+        ]
+        assert strip == strip2
+
     def test_mismatched_checkpoint_is_one_line_error(self, capsys, tmp_path):
         ck = str(tmp_path / "ck")
         assert run_cli(capsys, *self.LFR, "--checkpoint", ck)[0] == 0

@@ -16,6 +16,7 @@ from repro.decode import (
     UnweightedUnionFindDecoder,
     available_decoders,
     build_dem_graph,
+    decoder_class,
     get_decoder,
 )
 from repro.sim.noise import NoiseModel
@@ -31,6 +32,16 @@ def syndrome_of(graph: MatchingGraph, edge_indices) -> np.ndarray:
     return syn
 
 
+def build_decoder(name: str, exp: MemoryExperiment) -> Decoder:
+    """Instantiate any registry entry over an experiment's schedule graph,
+    supplying the detector layout to decoders that want it."""
+    if decoder_class(name).wants_layout:
+        return get_decoder(
+            name, exp.graph, n_faces=len(exp.faces), window=4, commit=2
+        )
+    return get_decoder(name, exp.graph)
+
+
 @pytest.fixture(scope="module")
 def exp3() -> MemoryExperiment:
     return MemoryExperiment(distance=3, basis="Z")
@@ -39,7 +50,12 @@ def exp3() -> MemoryExperiment:
 class TestRegistry:
     def test_builtin_decoders_registered(self):
         names = available_decoders()
-        assert {"union_find", "union_find_unweighted", "lookup"} <= set(names)
+        assert {
+            "union_find",
+            "union_find_unweighted",
+            "union_find_windowed",
+            "lookup",
+        } <= set(names)
 
     def test_get_decoder_returns_protocol_instances(self, exp3):
         for name, cls in [
@@ -65,7 +81,7 @@ class TestRegistry:
         rng = np.random.default_rng(5)
         syndromes = (rng.random((32, exp3.n_detectors)) < 0.08).astype(np.uint8)
         for name in available_decoders():
-            dec = get_decoder(name, exp3.graph)
+            dec = build_decoder(name, exp3)
             batch = dec.decode_batch(syndromes)
             single = np.array([dec.decode(s) for s in syndromes])
             assert np.array_equal(batch, single), name
@@ -74,16 +90,20 @@ class TestRegistry:
 class TestBatchFastPaths:
     """Satellite regressions: empty batches and all-zero syndromes."""
 
-    @pytest.mark.parametrize("name", ["union_find", "union_find_unweighted", "lookup"])
+    @pytest.mark.parametrize(
+        "name", ["union_find", "union_find_unweighted", "union_find_windowed", "lookup"]
+    )
     def test_empty_batch_returns_well_shaped_uint8(self, exp3, name):
-        dec = get_decoder(name, exp3.graph)
+        dec = build_decoder(name, exp3)
         out = dec.decode_batch(np.zeros((0, exp3.n_detectors), dtype=np.uint8))
         assert out.shape == (0,)
         assert out.dtype == np.uint8
 
-    @pytest.mark.parametrize("name", ["union_find", "union_find_unweighted", "lookup"])
+    @pytest.mark.parametrize(
+        "name", ["union_find", "union_find_unweighted", "union_find_windowed", "lookup"]
+    )
     def test_all_zero_syndromes_decode_trivially(self, exp3, name):
-        dec = get_decoder(name, exp3.graph)
+        dec = build_decoder(name, exp3)
         out = dec.decode_batch(np.zeros((7, exp3.n_detectors), dtype=np.uint8))
         assert out.shape == (7,)
         assert out.dtype == np.uint8
@@ -92,7 +112,7 @@ class TestBatchFastPaths:
 
     def test_shape_validation(self, exp3):
         for name in available_decoders():
-            dec = get_decoder(name, exp3.graph)
+            dec = build_decoder(name, exp3)
             with pytest.raises(ValueError, match="does not match"):
                 dec.decode(np.zeros(exp3.n_detectors + 1, dtype=np.uint8))
             with pytest.raises(ValueError, match="does not match"):
@@ -114,6 +134,58 @@ class TestDetectorCountGuard:
     def test_matching_decoder_graph_accepted(self, exp3):
         dec = exp3.decoder_for(None, "union_find")
         assert dec.graph.n_detectors == exp3.n_detectors
+
+    def test_rejected_decoder_is_not_cached(self):
+        """Satellite regression: the guard must run *before* the cache
+        insert.  A mismatched DEM graph used to leave the rejected decoder
+        in ``_decoders`` permanently — every later call with the same key
+        then failed even after the bad graph was gone."""
+        exp = MemoryExperiment(distance=3, basis="Z")
+        model = NoiseModel.uniform(1e-3)
+        key = exp._params_key(model)
+        wrong = MatchingGraph(3, [DetectorEdge(0, 1), DetectorEdge(2, BOUNDARY)])
+        exp._dem_graphs[key] = wrong
+        try:
+            with pytest.raises(ValueError, match="different detector layout"):
+                exp.decoder_for(model, "union_find")
+            # The rejected decoder must not have polluted the cache ...
+            assert not any(k[0] == key for k in exp._decoders)
+            # ... so fixing the graph heals the experiment in place.
+            del exp._dem_graphs[key]
+            dec = exp.decoder_for(model, "union_find")
+            assert dec.graph.n_detectors == exp.n_detectors
+        finally:
+            exp._dem_graphs.pop(key, None)
+
+
+class TestFrameSamplerCache:
+    """Satellite regression: one FrameSampler per noise-parameter key."""
+
+    def test_sample_frame_reuses_sampler(self):
+        exp = MemoryExperiment(distance=3, basis="Z")
+        model = NoiseModel.uniform(1.7e-3)  # unique rate: cold cache entry
+        assert exp._params_key(model) not in exp._core.frame_samplers
+        first = exp.frame_sampler(model)
+        assert exp.frame_sampler(model) is first
+        exp.sample_frame(8, noise=model, seed=0)
+        assert exp._core.frame_samplers[exp._params_key(model)] is first
+        # A second instance over the same core shares the cached sampler.
+        assert MemoryExperiment(distance=3, basis="Z").frame_sampler(model) is first
+
+    def test_sampler_cache_is_per_params(self):
+        exp = MemoryExperiment(distance=3, basis="Z")
+        a = exp.frame_sampler(NoiseModel.uniform(1.9e-3))
+        b = exp.frame_sampler(NoiseModel.uniform(2.1e-3))
+        assert a is not b
+
+    def test_cached_sampler_results_unchanged(self):
+        """Caching must not perturb the per-shot streams."""
+        exp = MemoryExperiment(distance=3, basis="Z")
+        model = NoiseModel.uniform(2.3e-3)
+        x = exp.sample_frame(50, noise=model, seed=3)
+        y = exp.sample_frame(50, noise=model, seed=3)
+        assert np.array_equal(x.detectors, y.detectors)
+        assert np.array_equal(x.observables, y.observables)
 
 
 class TestSingleFaultEquivalence:

@@ -25,10 +25,12 @@ from repro.estimator.cache import CheckpointError, ResultCache, content_hash
 from repro.estimator.jobs import (
     execute_cell,
     logical_error_cells,
+    merge_shard_payloads,
     new_stats,
     payload_fingerprint,
     resource_cells,
     run_cells,
+    shard_cell,
 )
 from repro.estimator.sweep import logical_error_sweep, sweep_operation
 from repro.sim.noise import NoiseModel
@@ -160,6 +162,40 @@ class TestFaultInjection:
         assert stats["cache_hits"] >= 1, "resume should replay completed cells"
         assert fingerprints(reports) == serial_fingerprints
         assert set(manifest_keys(ck)) == {c.key() for c in make_cells()}
+
+    def test_timeout_degrade_terminates_orphaned_workers(
+        self, monkeypatch, tmp_path, serial_fingerprints
+    ):
+        """Satellite regression: a wedged worker used to survive the
+        timeout degrade (``cancel_futures`` cannot cancel a *running*
+        future) and keep burning CPU on a cell the driver was redoing
+        in-process.  The degrade path must now terminate it — and the
+        checkpoint manifest must show each cell completed exactly once."""
+        cells = make_cells()
+        self.arm(monkeypatch, tmp_path, "hang", cells[0].key()[:16])
+        stats = new_stats()
+        payloads = run_cells(
+            cells, jobs=2, timeout=4.0, checkpoint=tmp_path / "ck", stats=stats
+        )
+        assert stats["degraded"] and stats["timed_out"] >= 1
+        assert [payload_fingerprint(p) for p in payloads] == serial_fingerprints
+
+        pid_file = tmp_path / "fault" / "hang-pid"
+        assert pid_file.exists(), "the injected hang never started"
+        pid = int(pid_file.read_text())
+        deadline = time.monotonic() + 15
+        alive = True
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                alive = False
+                break
+            time.sleep(0.1)
+        assert not alive, f"orphaned worker {pid} still running after degrade"
+        # No duplicate work: every cell appears in the manifest exactly once
+        # (manifest_keys asserts uniqueness) and nothing extra was recorded.
+        assert set(manifest_keys(tmp_path / "ck")) == {c.key() for c in cells}
 
     def test_corrupted_result_file_is_recomputed(self, tmp_path, serial_fingerprints):
         cells = make_cells()
@@ -310,3 +346,82 @@ class TestExecuteCell:
         warped = dict(payload, sim_seconds=123.0, decode_seconds=456.0)
         assert payload_fingerprint(payload) == payload_fingerprint(warped)
         assert content_hash(payload) != content_hash(warped)
+
+
+class TestShotSharding:
+    """Shot-axis sharding: splitting one cell's shots across workers and
+    merging the shard payloads must be bit-identical to the unsharded cell
+    (the per-shot seed streams make the split seam-free)."""
+
+    def test_shard_cell_partitions_the_shot_axis(self):
+        cell = make_cells()[0]
+        shards = shard_cell(cell, 4)
+        assert sum(s.shots for s in shards) == cell.shots
+        assert shards[0].shot_offset == 0
+        for prev, nxt in zip(shards, shards[1:]):
+            assert nxt.shot_offset == prev.shot_offset + prev.shots
+        # Every shard gets its own cache identity; none collides with the
+        # unsharded cell.
+        keys = {s.key() for s in shards}
+        assert len(keys) == len(shards)
+        assert cell.key() not in keys
+
+    def test_shard_cell_passthrough_and_validation(self):
+        cell = make_cells()[0]
+        assert shard_cell(cell, 1) == [cell]
+        # Over-sharding clamps to one shot per shard instead of emitting
+        # empty cells.
+        tiny = shard_cell(cell, cell.shots + 50)
+        assert len(tiny) == cell.shots
+        assert all(s.shots == 1 for s in tiny)
+        import dataclasses
+
+        tableau = dataclasses.replace(cell, engine="tableau")
+        with pytest.raises(ValueError, match="frame"):
+            shard_cell(tableau, 2)
+
+    def test_unsharded_cell_key_ignores_new_fields(self):
+        """Backward compatibility: shot_offset/window/commit enter the
+        content-addressed key only when set, so pre-existing checkpoints
+        still resolve."""
+        cell = make_cells()[0]
+        payload = cell.key_payload()
+        assert "shot_offset" not in payload
+        assert "window" not in payload
+        assert "commit" not in payload
+
+    def test_merged_shards_match_unsharded_payload(self):
+        cell = make_cells()[0]
+        whole = execute_cell(cell)
+        merged = merge_shard_payloads([execute_cell(s) for s in shard_cell(cell, 3)])
+        assert payload_fingerprint(merged) == payload_fingerprint(whole)
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError, match="payload"):
+            merge_shard_payloads([])
+
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_sweep_with_shot_shards_matches_serial(
+        self, tmp_path, serial_fingerprints, shards
+    ):
+        stats = new_stats()
+        reports = logical_error_sweep(
+            DISTANCES,
+            rates=RATES,
+            shots=SHOTS,
+            seed=0,
+            jobs=2,
+            shot_shards=shards,
+            checkpoint=str(tmp_path / "ck"),
+            stats=stats,
+        )
+        assert fingerprints(reports) == serial_fingerprints
+        n_cells = len(DISTANCES) * len(RATES)
+        assert stats["executed"] == n_cells * shards
+        assert len(manifest_keys(tmp_path / "ck")) == n_cells * shards
+
+    def test_serial_path_rejects_shot_shards(self):
+        with pytest.raises(ValueError, match="jobs"):
+            logical_error_sweep(
+                DISTANCES, rates=RATES, shots=SHOTS, seed=0, shot_shards=2
+            )
