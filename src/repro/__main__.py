@@ -404,15 +404,28 @@ def _cmd_dem(args: argparse.Namespace) -> int:
     )
     t0 = time.perf_counter()
     table = experiment.fault_table(model)
+    extract_seconds = time.perf_counter() - t0
     dem = experiment.detector_error_model(model)
     elapsed = time.perf_counter() - t0
-    kinds = Counter(site.kind for site in table.sites)
+    kinds = table.kind_counts()
     sizes = Counter(len(dets) for dets in dem.detectors)
+    stats = {
+        "extraction_seconds": extract_seconds,
+        "n_sites": table.n_sites,
+        "n_mechanisms": dem.n_mechanisms,
+        "path": table.method,
+    }
     print(
         f"# detector error model: {args.basis}-basis memory, d={args.distance}, "
         f"{experiment.rounds} round(s), noise {model.name}{_profile_note([prof])} "
         f"({elapsed:.2f} s extraction)"
     )
+    if args.stats:
+        print(
+            f"stats: extraction {stats['extraction_seconds']:.4f} s "
+            f"({stats['path']} path), n_sites {stats['n_sites']}, "
+            f"n_mechanisms {stats['n_mechanisms']}"
+        )
     print(
         f"detectors: {dem.n_detectors}  observables: {dem.n_observables}  "
         f"fault sites: {table.n_sites}  mechanisms: {dem.n_mechanisms}"
@@ -447,8 +460,13 @@ def _cmd_dem(args: argparse.Namespace) -> int:
             f"{graph.n_edges} edges, {span}"
         )
     if args.json:
+        payload = dem.to_dict()
+        if args.stats:
+            # --stats + --json is not an error: the same fields ride along
+            # inside the artifact.
+            payload["stats"] = stats
         with open(args.json, "w") as fh:
-            json.dump(dem.to_dict(), fh, indent=2)
+            json.dump(payload, fh, indent=2)
         print(f"# wrote {args.json}")
     return 0
 
@@ -686,6 +704,12 @@ def main(argv: list[str] | None = None) -> int:
         help="also summarize the DEM-built decoding graph for this decoder",
     )
     p_dem.add_argument("--json", default=None, help="write the full DEM to a JSON file")
+    p_dem.add_argument(
+        "--stats",
+        action="store_true",
+        help="print extraction stats (seconds, sites, mechanisms, periodic-vs-full "
+        "path); with --json the same fields are embedded in the artifact",
+    )
     _add_profile_argument(p_dem)
     p_dem.set_defaults(fn=_cmd_dem)
 

@@ -85,9 +85,24 @@ class DetectorEdge:
 
 
 class MatchingGraph:
-    """A decoding graph over ``n_detectors`` nodes plus one open boundary."""
+    """A decoding graph over ``n_detectors`` nodes plus one open boundary.
 
-    def __init__(self, n_detectors: int, edges: list[DetectorEdge]):
+    ``period`` (optional) is the detector-id stride of one bulk QEC round
+    when the graph's interior is time-translation invariant — propagated
+    from :attr:`~repro.sim.dem.DetectorErrorModel.period` by
+    :func:`build_dem_graph`.  It certifies what the windowed decoder's
+    structural-signature sharing discovers per window: interior window
+    subgraphs are exact translates, so one inner decoder serves all of
+    them.  ``None`` means no such certificate (schedule-built graphs,
+    full-walk DEMs).
+    """
+
+    def __init__(
+        self,
+        n_detectors: int,
+        edges: list[DetectorEdge],
+        period: int | None = None,
+    ):
         if n_detectors < 1:
             raise ValueError("need at least one detector")
         for e in edges:
@@ -100,6 +115,7 @@ class MatchingGraph:
                 raise ValueError(f"edge {e} has non-positive weight")
         self.n_detectors = n_detectors
         self.edges = list(edges)
+        self.period = period
 
     @property
     def n_edges(self) -> int:
@@ -240,8 +256,15 @@ def build_dem_graph(dem, observable: int = 0) -> MatchingGraph:
             entry[0] = entry[0] * (1.0 - p) + p * (1.0 - entry[0])
             if p > entry[2]:
                 entry[1], entry[2] = frame, p
+    # Periodic DEMs repeat the same handful of probabilities across every
+    # bulk round, so memoize the (expensive-ish) log per distinct float —
+    # same scalar op, same bits, one call per unique value.
+    weight_of: dict[float, float] = {}
     edges = []
     for (u, v), (p, frame, _) in sorted(merged.items()):
         p = min(max(p, _MIN_PROBABILITY), _MAX_PROBABILITY)
-        edges.append(DetectorEdge(u, v, frame, "dem", math.log((1.0 - p) / p)))
-    return MatchingGraph(dem.n_detectors, edges)
+        weight = weight_of.get(p)
+        if weight is None:
+            weight = weight_of[p] = math.log((1.0 - p) / p)
+        edges.append(DetectorEdge(u, v, frame, "dem", weight))
+    return MatchingGraph(dem.n_detectors, edges, period=getattr(dem, "period", None))

@@ -44,9 +44,11 @@ from repro.sim.dem import (
     DemExtractionError,
     DetectorErrorModel,
     FaultTable,
+    PeriodicTemplate,
     build_dem,
     dem_structure_key,
     extract_fault_table,
+    make_periodic_template,
 )
 from repro.sim.frame import FrameSampler, FrameSamples
 from repro.sim.noise import NoiseModel, NoiseParams
@@ -110,6 +112,11 @@ class _MemoryCore:
     caches keyed by noise parameters.  Cached per key so repeated
     :class:`MemoryExperiment` constructions (rate sweeps, CLI invocations,
     benchmarks) compile each distance at most once per process.
+
+    ``fault_tables`` entries may be lazily-tiled periodic tables (built
+    from the rounds-independent ``_TEMPLATE_CACHE`` below rather than a
+    walk of this core's own circuit); their contents are bit-identical to
+    a full walk either way.
     """
 
     compiler: TISCC
@@ -131,6 +138,53 @@ class _MemoryCore:
 #: (dx, dz, rounds, basis, profile fingerprint) -> compiled core, LRU-capped.
 _CORE_CACHE: OrderedDict[tuple, _MemoryCore] = OrderedDict()
 _CORE_CACHE_MAX = 32
+
+#: Rounds of the periodic-extraction template compile: the smallest memory
+#: whose replay block carries enough copies for the template's translation
+#: self-check (>= 6; 9 rounds -> 8 copies) with a couple to spare.
+_TEMPLATE_ROUNDS = 9
+
+#: (dx, dz, basis, profile fingerprint, dem_structure_key) ->
+#: :class:`~repro.sim.dem.PeriodicTemplate` or ``None`` (template
+#: construction failed; cached so the failure is only diagnosed once).
+#: Rounds-independent by construction — every experiment over the same
+#: patch/basis/profile/noise-structure shares one entry no matter its
+#: ``rounds``, so changing ``rounds`` never re-walks a circuit.
+_TEMPLATE_CACHE: OrderedDict[tuple, PeriodicTemplate | None] = OrderedDict()
+_TEMPLATE_CACHE_MAX = 16
+
+
+def _periodic_template(
+    dx: int,
+    dz: int,
+    basis: str,
+    profile: HardwareProfile | None,
+    params: NoiseParams,
+) -> PeriodicTemplate | None:
+    """The shared extraction template for one patch/basis/profile/structure.
+
+    Compiles a ``_TEMPLATE_ROUNDS``-round memory (through the ordinary
+    ``_memory_core`` cache) and full-walks it exactly once; the resulting
+    :class:`~repro.sim.dem.PeriodicTemplate` then serves every round count
+    via :func:`~repro.sim.dem.extract_fault_table`'s tiling path.
+    """
+    profile = get_profile(profile)
+    key = (dx, dz, basis, profile.fingerprint, dem_structure_key(params))
+    if key in _TEMPLATE_CACHE:
+        _TEMPLATE_CACHE.move_to_end(key)
+        return _TEMPLATE_CACHE[key]
+    core = _memory_core(dx, dz, _TEMPLATE_ROUNDS, basis, profile)
+    template = make_periodic_template(
+        core.compiled.circuit,
+        core.compiled.initial_occupancy,
+        params,
+        core.detector_labels,
+        [core.observable_labels],
+    )
+    _TEMPLATE_CACHE[key] = template
+    while len(_TEMPLATE_CACHE) > _TEMPLATE_CACHE_MAX:
+        _TEMPLATE_CACHE.popitem(last=False)
+    return template
 
 
 def _memory_core(
@@ -312,8 +366,13 @@ class MemoryExperiment:
 
     @staticmethod
     def clear_compile_cache() -> None:
-        """Drop every cached compiled memory experiment (mainly for tests)."""
+        """Drop every cached compiled memory experiment (mainly for tests).
+
+        Also drops the periodic-extraction template cache, which holds
+        references into cached compiles.
+        """
         _CORE_CACHE.clear()
+        _TEMPLATE_CACHE.clear()
 
     def cache_key(self, noise: NoiseModel | None = None) -> tuple:
         """This experiment's canonical cache-key components under ``noise``.
@@ -371,20 +430,36 @@ class MemoryExperiment:
     def fault_table(self, noise: NoiseModel) -> FaultTable:
         """Rate-independent fault footprints for a noise model's structure.
 
-        Extraction walks the compiled circuit once per
-        :func:`~repro.sim.dem.dem_structure_key` (which channels are
-        nonzero) and is cached — sweeping a rate knob rebuilds only the
-        cheap probability layer.
+        Cached per :func:`~repro.sim.dem.dem_structure_key` (which channels
+        are nonzero) — sweeping a rate knob rebuilds only the cheap
+        probability layer.  For ``rounds >= _TEMPLATE_ROUNDS`` extraction
+        goes through the periodic tiling path: one shared
+        ``_TEMPLATE_ROUNDS``-round template per (patch, basis, profile,
+        noise structure) is full-walked once and tiled onto this
+        experiment's round count, so the cost is O(prologue + one bulk
+        round + epilogue) regardless of ``rounds``, and changing ``rounds``
+        never re-walks a circuit.  The full walk runs instead — producing a
+        bit-identical table — whenever the periodic preconditions fail: the
+        compiler's template replay fell back to round-by-round scheduling
+        (no replay metadata), the replica region is not an exact
+        translation of the template's, or any translation check
+        (labels, detectors, observables, idle-gap durations) misses.
         """
         key = dem_structure_key(noise.params)
         table = self._fault_tables.get(key)
         if table is None:
+            template = (
+                _periodic_template(self.dx, self.dz, self.basis, self.profile, noise.params)
+                if self.rounds >= _TEMPLATE_ROUNDS
+                else None
+            )
             table = extract_fault_table(
                 self.compiled.circuit,
                 self.compiled.initial_occupancy,
                 noise.params,
                 self.detector_labels,
                 [self.observable_labels],
+                template=template,
             )
             self._fault_tables[key] = table
         return table
@@ -392,7 +467,14 @@ class MemoryExperiment:
     def detector_error_model(
         self, noise: NoiseModel, keep_sources: bool = False
     ) -> DetectorErrorModel:
-        """Stim-style DEM of this memory experiment under ``noise``."""
+        """Stim-style DEM of this memory experiment under ``noise``.
+
+        The underlying :meth:`fault_table` is rounds-independent to build
+        for long memories (periodic template tiling, see its docstring for
+        the fallback conditions), and :func:`~repro.sim.dem.build_dem`
+        folds in the noise rates as one vectorized pass per channel kind —
+        both paths bit-identical to the original per-instruction walk.
+        """
         return build_dem(self.fault_table(noise), noise.params, keep_sources=keep_sources)
 
     # ------------------------------------------------------------- decoders

@@ -106,6 +106,12 @@ class SweepCell:
         (for memory cells, inside :func:`memory_cache_key`), so two
         profiles never share a content-addressed result while
         default-profile keys match pre-profile checkpoints exactly.
+
+        The DEM *extraction path* (periodic template tiling vs full walk,
+        see :meth:`MemoryExperiment.fault_table`) is deliberately absent
+        from the key: both paths produce bit-identical fault tables and
+        DEMs by construction, so results — and therefore existing
+        checkpoints — are path-independent.
         """
         if self.kind == "memory_lfr":
             from repro.decode.memory import memory_cache_key

@@ -29,7 +29,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["Instruction", "HardwareCircuit", "CircuitColumns"]
+__all__ = ["Instruction", "HardwareCircuit", "CircuitColumns", "ReplayBlock"]
 
 # --------------------------------------------------------------------- names
 # Gate names are interned into one process-wide pool: circuits store int32
@@ -171,6 +171,44 @@ class CircuitColumns:
 _Chunk = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
+@dataclass(frozen=True)
+class ReplayBlock:
+    """Provenance record of one :meth:`HardwareCircuit.replay_block` call.
+
+    All row indices are append-order: the template block occupied rows
+    ``[start, stop)`` and copy ``k`` (1-based) occupies rows
+    ``[chunk_start + (k-1)*block, chunk_start + k*block)`` with
+    ``block = stop - start``.  ``label_maps[k-1]`` maps each template
+    measurement label to copy ``k``'s fresh label.  The DEM extractor uses
+    these records to recognize the periodic bulk of a replayed circuit and
+    tile fault footprints instead of re-walking every round.
+    """
+
+    start: int
+    stop: int
+    chunk_start: int
+    copies: int
+    dt: float
+    overridden: bool
+    label_maps: tuple[dict[str, str], ...]
+
+    @property
+    def block(self) -> int:
+        return self.stop - self.start
+
+    def shifted(self, offset: int) -> "ReplayBlock":
+        """The same record with every row index moved by ``offset``."""
+        return ReplayBlock(
+            self.start + offset,
+            self.stop + offset,
+            self.chunk_start + offset,
+            self.copies,
+            self.dt,
+            self.overridden,
+            self.label_maps,
+        )
+
+
 class HardwareCircuit:
     """Append-only, time-annotated instruction stream (structure-of-arrays).
 
@@ -196,6 +234,8 @@ class HardwareCircuit:
         #: container stays general): row index -> full site tuple.
         self._extra_sites: dict[int, tuple[int, ...]] = {}
         self._measure_count = 0
+        #: Provenance of every bulk template replay (see :class:`ReplayBlock`).
+        self._replays: list[ReplayBlock] = []
         # Cached derived views, invalidated on mutation.
         self._cols: CircuitColumns | None = None
         self._sorted_cols: CircuitColumns | None = None
@@ -276,6 +316,7 @@ class HardwareCircuit:
             self._extra_sites[offset + row] = sites
         for row, label in other._label_of.items():
             self._label_of[offset + row] = label
+        self._replays.extend(rec.shifted(offset) for rec in other._replays)
         self._measure_count = max(self._measure_count, other._measure_count)
         self._invalidate()
 
@@ -335,10 +376,41 @@ class HardwareCircuit:
                 relabel[self._label_of[row]] = new
                 self._label_of[chunk_start + k * block + (row - start)] = new
             maps.append(relabel)
+        self._replays.append(
+            ReplayBlock(
+                start,
+                stop,
+                chunk_start,
+                copies,
+                float(dt),
+                override is not None,
+                tuple(maps),
+            )
+        )
         self._invalidate()
         return maps
 
     # ------------------------------------------------------------------ query
+    @property
+    def replay_blocks(self) -> tuple[ReplayBlock, ...]:
+        """Provenance of every :meth:`replay_block` call, in call order.
+
+        Rows appended *after* a replay (the final measurement block, say)
+        are not covered by any record; the DEM extractor treats them as the
+        epilogue it walks explicitly.
+        """
+        return tuple(self._replays)
+
+    def sort_order(self) -> np.ndarray:
+        """Append-order row index per execution-order position (read-only).
+
+        ``sort_order()[p]`` is the append-order row occupying position ``p``
+        of :meth:`sorted_columns` — the bridge between :class:`ReplayBlock`
+        row ranges and the sorted stream the DEM extractor walks.  Callers
+        must not mutate the returned array.
+        """
+        return self._order()
+
     def __len__(self) -> int:
         return self._frozen_len + len(self._codes)
 

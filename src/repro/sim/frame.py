@@ -63,17 +63,31 @@ class FrameSampler:
 
     def __init__(self, dem: DetectorErrorModel):
         self.dem = dem
-        det_mechs: list[list[int]] = [[] for _ in range(dem.n_detectors)]
-        obs_mechs: list[list[int]] = [[] for _ in range(dem.n_observables)]
-        for m, dets in enumerate(dem.detectors):
-            for d in dets:
-                det_mechs[d].append(m)
-            mask = int(dem.observables[m])
-            for o in range(dem.n_observables):
-                if mask >> o & 1:
-                    obs_mechs[o].append(m)
-        self._det_mechs = [np.asarray(ms, dtype=np.intp) for ms in det_mechs]
-        self._obs_mechs = [np.asarray(ms, dtype=np.intp) for ms in obs_mechs]
+        # One flat (detector, mechanism) incidence pass + a stable argsort
+        # replaces the per-mechanism append loop; the stable kind keeps
+        # mechanism ids ascending within each detector, exactly as appends
+        # in mechanism order produced.
+        n_mechs = dem.n_mechanisms
+        lengths = np.fromiter(
+            (len(dets) for dets in dem.detectors), dtype=np.int64, count=n_mechs
+        )
+        flat_det = np.fromiter(
+            (d for dets in dem.detectors for d in dets),
+            dtype=np.intp,
+            count=int(lengths.sum()),
+        )
+        flat_mech = np.repeat(np.arange(n_mechs, dtype=np.intp), lengths)
+        order = np.argsort(flat_det, kind="stable")
+        sorted_mech = flat_mech[order]
+        bounds = np.searchsorted(flat_det[order], np.arange(dem.n_detectors + 1))
+        self._det_mechs = [
+            sorted_mech[bounds[d] : bounds[d + 1]] for d in range(dem.n_detectors)
+        ]
+        masks = np.asarray(dem.observables, dtype=np.uint64)
+        self._obs_mechs = [
+            np.nonzero((masks >> np.uint64(o)) & np.uint64(1))[0].astype(np.intp)
+            for o in range(dem.n_observables)
+        ]
 
     def sample(
         self,
