@@ -92,7 +92,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         dx=args.dx, dz=args.dz, tile_rows=shape[0], tile_cols=shape[1], rounds=args.rounds,
         profile=prof,
     )
-    compiled = compiler.compile(build(), operation=args.op)
+    compiled = compiler.compile(build(), operation=args.op, simd=args.simd)
     print(
         f"# compiled {args.op} (dx={args.dx}, dz={args.dz}{_profile_note([prof])}): "
         f"{len(compiled.circuit)} native instructions, "
@@ -100,10 +100,24 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         f"{compiled.logical_timesteps} logical time-step(s), "
         f"junction conflicts resolved: {compiler.grid.junction_conflicts}"
     )
-    if args.timings:
+    if compiled.simd_report is not None:
+        r = compiled.simd_report
         print(
-            f"# phase timings: compile {compiled.compile_seconds:.3f} s, "
-            f"validate {compiled.validate_seconds:.3f} s, "
+            f"# simd: beam passes {r.baseline_passes} -> {r.beam_passes} "
+            f"({r.pass_reduction:.1%} reduction, utilization {r.utilization:.3f}), "
+            f"makespan ratio {r.makespan_ratio:.3f} [{r.mode}"
+            + (f", width {r.width}" if r.width else "")
+            + (f", overhead {r.overhead_us:g} us" if r.overhead_us else "")
+            + "]"
+        )
+    if args.timings:
+        simd_part = (
+            f", simd {compiled.simd_seconds:.3f} s" if compiled.simd_report is not None else ""
+        )
+        print(
+            f"# phase timings: compile {compiled.compile_seconds:.3f} s"
+            + simd_part
+            + f", validate {compiled.validate_seconds:.3f} s, "
             f"estimate {compiled.estimate_seconds:.3f} s"
         )
     if args.resources and compiled.resources:
@@ -201,6 +215,17 @@ def _add_profile_argument(parser: argparse.ArgumentParser, repeatable: bool = Fa
         metavar="NAME|PATH",
         help="hardware profile: a shipped/registered name (see `tiscc profiles "
         f"list`) or a TOML/JSON file path{extra}",
+    )
+
+
+def _add_simd_argument(parser: argparse.ArgumentParser) -> None:
+    """``--simd``: run the beam-pass rescheduling phase on every compile."""
+    parser.add_argument(
+        "--simd",
+        action="store_true",
+        help="SIMD beam-pass scheduling: batch identical gates into beam "
+        "passes and compact the schedule (knobs come from the profile's "
+        "simd_* fields)",
     )
 
 
@@ -349,6 +374,7 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
             window=args.window,
             commit=args.commit,
             shot_shards=args.shot_shards,
+            simd=args.simd,
         )
     except ValueError as err:
         # Bad rates/scales/distances/decoders/profiles — and unusable
@@ -361,7 +387,8 @@ def _cmd_lfr(args: argparse.Namespace) -> int:
         f"# logical error rates: {args.basis}-basis memory, distances "
         f"{args.distances}, {args.shots} shots each, seed {args.seed}, "
         f"{args.engine} engine, {args.decoder or 'union_find'} decoder"
-        f"{_profile_note(profiles)} ({elapsed:.1f} s total)"
+        + (", simd scheduling" if args.simd else "")
+        + f"{_profile_note(profiles)} ({elapsed:.1f} s total)"
     )
     _print_job_summary(args, stats)
     print(format_logical_error_table(reports, title="decoded logical error rates"))
@@ -509,6 +536,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             resume=args.resume,
             stats=stats,
+            simd=args.simd,
         )
     except ValueError as err:
         # Unknown operations/profiles and unusable checkpoint directories
@@ -590,11 +618,12 @@ def main(argv: list[str] | None = None) -> int:
     p_compile.add_argument(
         "--timings",
         action="store_true",
-        help="print per-phase wall-clock timings (compile/validate/estimate)",
+        help="print per-phase wall-clock timings (compile/simd/validate/estimate)",
     )
     p_compile.add_argument("--simulate", action="store_true")
     p_compile.add_argument("--seed", type=int, default=0)
     _add_profile_argument(p_compile)
+    _add_simd_argument(p_compile)
     p_compile.set_defaults(fn=_cmd_compile)
 
     p_sample = sub.add_parser(
@@ -681,6 +710,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_lfr.add_argument("--json", default=None, help="also write reports to a JSON file")
     _add_profile_argument(p_lfr, repeatable=True)
+    _add_simd_argument(p_lfr)
     _add_job_arguments(p_lfr)
     p_lfr.set_defaults(fn=_cmd_lfr)
 
@@ -725,6 +755,7 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--distances", type=int, nargs="+", default=[3, 5])
     p_sweep.add_argument("--rounds", type=int, default=None)
     _add_profile_argument(p_sweep, repeatable=True)
+    _add_simd_argument(p_sweep)
     _add_job_arguments(p_sweep)
     p_sweep.set_defaults(fn=_cmd_sweep)
 

@@ -24,6 +24,7 @@ from repro.core.tiles import TileGrid
 from repro.hardware.circuit import HardwareCircuit
 from repro.hardware.profile import HardwareProfile
 from repro.hardware.resources import ResourceReport, estimate_resources
+from repro.hardware.simd import SimdReport, simd_schedule
 from repro.hardware.validity import ValidityReport, check_circuit
 from repro.sim.batch import BatchResult, BatchRunner
 from repro.sim.interpreter import CircuitInterpreter, RunResult
@@ -48,6 +49,12 @@ class CompiledOperation:
     compile_seconds: float = 0.0
     validate_seconds: float = 0.0
     estimate_seconds: float = 0.0
+    simd_seconds: float = 0.0
+    #: What the SIMD rescheduling pass did (None when it did not run).
+    simd_report: SimdReport | None = None
+    #: The pre-SIMD schedule — kept as the equivalence oracle when the
+    #: rescheduling pass ran, None otherwise.
+    unscheduled_circuit: HardwareCircuit | None = None
 
     @property
     def logical_timesteps(self) -> int:
@@ -122,12 +129,18 @@ class TISCC:
         operation: str = "",
         validate: bool = True,
         estimate: bool = True,
+        simd: bool = False,
     ) -> CompiledOperation:
         """Execute a program, returning the compiled operation bundle.
 
         ``validate``/``estimate`` toggle the §3.3 validity replay and §3.4
         resource estimation (both on by default); per-phase wall-clock
-        timings are recorded on the returned bundle.
+        timings are recorded on the returned bundle.  ``simd`` runs the
+        beam-pass rescheduling backend phase (:mod:`repro.hardware.simd`)
+        with the profile's ``simd_*`` fields: the bundle's ``circuit``
+        becomes the compacted schedule, the original stays on
+        ``unscheduled_circuit`` as the equivalence oracle, and validation /
+        estimation apply to the rescheduled circuit.
         """
         occ0 = self.tiles.occupancy_snapshot()
         circuit = HardwareCircuit()
@@ -145,14 +158,33 @@ class TISCC:
             dz=self.tiles.dz,
         )
         compiled.compile_seconds = time.perf_counter() - t0
+        if simd:
+            prof = self.profile
+            t0 = time.perf_counter()
+            scheduled, report = simd_schedule(
+                circuit,
+                self.grid,
+                width=prof.simd_width,
+                mode=prof.simd_mode,
+                overhead_us=prof.simd_pass_overhead_us,
+            )
+            compiled.simd_seconds = time.perf_counter() - t0
+            compiled.unscheduled_circuit = circuit
+            compiled.circuit = scheduled
+            compiled.simd_report = report
         if validate:
             t0 = time.perf_counter()
-            compiled.validity = check_circuit(self.grid, circuit, occ0)
+            compiled.validity = check_circuit(self.grid, compiled.circuit, occ0)
             compiled.validate_seconds = time.perf_counter() - t0
         if estimate:
             t0 = time.perf_counter()
             compiled.resources = estimate_resources(
-                self.grid, circuit, compiled.operation, self.tiles.dx, self.tiles.dz
+                self.grid,
+                compiled.circuit,
+                compiled.operation,
+                self.tiles.dx,
+                self.tiles.dz,
+                simd_report=compiled.simd_report,
             )
             compiled.estimate_seconds = time.perf_counter() - t0
         return compiled

@@ -63,6 +63,7 @@ def memory_cache_key(
     basis: str,
     noise: NoiseModel | NoiseParams | None,
     profile: HardwareProfile | str | None = None,
+    simd: bool = False,
 ) -> tuple:
     """Canonical cache-key components of one memory-experiment cell.
 
@@ -82,7 +83,10 @@ def memory_cache_key(
       :attr:`~repro.hardware.profile.HardwareProfile.fingerprint` (physical
       content only, never the profile's name), so two profiles can never
       share a cached artifact while default-profile keys — and therefore
-      existing checkpoints — are unchanged.
+      existing checkpoints — are unchanged;
+    * SIMD beam-pass scheduling joins as a ``"simd"`` marker only when
+      enabled, same non-default-only pattern: pre-SIMD checkpoints keep
+      their keys.
     """
     n_rounds = rounds if rounds is not None else max(dx, dz)
     params = noise.params if isinstance(noise, NoiseModel) else noise
@@ -100,6 +104,8 @@ def memory_cache_key(
     prof = get_profile(profile)
     if prof.fingerprint != DEFAULT_PROFILE.fingerprint:
         key += (("profile", prof.fingerprint),)
+    if simd:
+        key += ("simd",)
     return key
 
 
@@ -193,6 +199,7 @@ def _memory_core(
     rounds: int | None,
     basis: str,
     profile: HardwareProfile | None = None,
+    simd: bool = False,
 ) -> _MemoryCore:
     profile = get_profile(profile)
     key = (
@@ -201,7 +208,7 @@ def _memory_core(
         rounds if rounds is not None else max(dx, dz),
         basis,
         profile.fingerprint,
-    )
+    ) + (("simd",) if simd else ())
     core = _CORE_CACHE.get(key)
     if core is not None:
         _CORE_CACHE.move_to_end(key)
@@ -209,7 +216,7 @@ def _memory_core(
 
     compiler = TISCC(dx=dx, dz=dz, tile_rows=1, tile_cols=1, rounds=rounds, profile=profile)
     program = [(f"Prepare{basis}", (0, 0)), (f"Measure{basis}", (0, 0))]
-    compiled = compiler.compile(program, operation=f"{basis}Memory")
+    compiled = compiler.compile(program, operation=f"{basis}Memory", simd=simd)
 
     patch = compiler.tiles[(0, 0)].patch
     assert patch is not None
@@ -302,6 +309,7 @@ class MemoryExperiment:
         profile: HardwareProfile | str | None = None,
         window: int | None = None,
         commit: int | None = None,
+        simd: bool = False,
     ):
         if basis not in ("Z", "X"):
             raise ValueError("memory basis must be 'Z' or 'X'")
@@ -314,6 +322,9 @@ class MemoryExperiment:
         self.basis = basis
         #: Hardware profile the experiment compiles and caches under.
         self.profile = get_profile(profile)
+        #: Whether the compiled circuit went through SIMD beam-pass
+        #: rescheduling (profile ``simd_*`` fields set the pass's knobs).
+        self.simd = simd
         # Compilation, label extraction, and graph construction are shared
         # per (dx, dz, rounds, basis) across every instance in the process:
         # rate sweeps and repeated constructions pay for the compile once.
@@ -321,7 +332,7 @@ class MemoryExperiment:
         # :attr:`compiled` (e.g. splicing instructions into the circuit)
         # must call :meth:`clear_compile_cache` around the experiment to
         # avoid leaking the mutation into later constructions.
-        core = _memory_core(dx, dz, rounds, basis, self.profile)
+        core = _memory_core(dx, dz, rounds, basis, self.profile, simd=simd)
         self._core = core
         self.compiler = core.compiler
         self.compiled = core.compiled
@@ -381,7 +392,13 @@ class MemoryExperiment:
         hashes into content-addressed result keys.
         """
         return memory_cache_key(
-            self.dx, self.dz, self.rounds, self.basis, noise, profile=self.profile
+            self.dx,
+            self.dz,
+            self.rounds,
+            self.basis,
+            noise,
+            profile=self.profile,
+            simd=self.simd,
         )
 
     # ------------------------------------------------------------- plumbing
@@ -448,9 +465,12 @@ class MemoryExperiment:
         key = dem_structure_key(noise.params)
         table = self._fault_tables.get(key)
         if table is None:
+            # SIMD-rescheduled circuits drop replay provenance (the rows
+            # are re-timed individually), so the periodic preconditions can
+            # never hold — skip straight to the full-walk oracle path.
             template = (
                 _periodic_template(self.dx, self.dz, self.basis, self.profile, noise.params)
-                if self.rounds >= _TEMPLATE_ROUNDS
+                if self.rounds >= _TEMPLATE_ROUNDS and not self.simd
                 else None
             )
             table = extract_fault_table(

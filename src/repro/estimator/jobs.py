@@ -98,6 +98,9 @@ class SweepCell:
     #: ``None`` defers to the decoder defaults and keeps legacy keys stable.
     window: int | None = None
     commit: int | None = None
+    #: SIMD beam-pass rescheduling of the compiled circuit; enters the key
+    #: only when True, so pre-SIMD checkpoints stay valid.
+    simd: bool = False
 
     def key_payload(self) -> dict:
         """The canonical parameter dict hashed into this cell's key.
@@ -126,6 +129,7 @@ class SweepCell:
                         self.basis,
                         self.noise,
                         profile=self.profile,
+                        simd=self.simd,
                     )
                 ),
                 "decoder": self.decoder,
@@ -149,6 +153,8 @@ class SweepCell:
             prof = get_profile(self.profile)
             if prof.fingerprint != DEFAULT_PROFILE.fingerprint:
                 payload["profile"] = prof.fingerprint
+            if self.simd:
+                payload["simd"] = True
             return payload
         raise ValueError(f"unknown sweep cell kind {self.kind!r}")
 
@@ -199,6 +205,7 @@ def logical_error_cells(
     profile: HardwareProfile | str | None = None,
     window: int | None = None,
     commit: int | None = None,
+    simd: bool = False,
 ) -> list[SweepCell]:
     """Cells of a logical-error sweep, distance-major like the serial loop."""
     prof = get_profile(profile)
@@ -219,6 +226,7 @@ def logical_error_cells(
             profile=prof,
             window=window,
             commit=commit,
+            simd=simd,
         )
         for d in distances
         for model in noise_models
@@ -230,11 +238,14 @@ def resource_cells(
     distances: list[int],
     rounds: int | None = None,
     profile: HardwareProfile | str | None = None,
+    simd: bool = False,
 ) -> list[SweepCell]:
     """Cells of a resource sweep, operation-major then distance-major."""
     prof = get_profile(profile)
     return [
-        SweepCell(kind="resource", op=op, dx=d, dz=d, rounds=rounds, profile=prof)
+        SweepCell(
+            kind="resource", op=op, dx=d, dz=d, rounds=rounds, profile=prof, simd=simd
+        )
         for op in ops
         for d in distances
     ]
@@ -357,6 +368,7 @@ def execute_cell(cell: SweepCell) -> dict:
             profile=cell.profile,
             window=cell.window,
             commit=cell.commit,
+            simd=cell.simd,
         )
         model = NoiseModel(cell.noise) if cell.noise is not None else None
         report = experiment.run(
@@ -373,7 +385,7 @@ def execute_cell(cell: SweepCell) -> dict:
         from repro.estimator.sweep import sweep_operation
 
         report = sweep_operation(
-            cell.op, [cell.dx], rounds=cell.rounds, profile=cell.profile
+            cell.op, [cell.dx], rounds=cell.rounds, profile=cell.profile, simd=cell.simd
         )[0]
         return report.to_dict()
     raise ValueError(f"unknown sweep cell kind {cell.kind!r}")

@@ -25,16 +25,19 @@ def format_resource_table(reports: list[ResourceReport], title: str = "") -> str
     """Render resource reports as the rows the paper's estimator prints.
 
     A ``profile`` column appears only when some report was produced under a
-    non-default hardware profile, keeping single-scenario output identical
-    to the historical format.
+    non-default hardware profile, and the SIMD columns (beam passes,
+    utilization) only when some report came from a SIMD-scheduled compile —
+    keeping default single-scenario output identical to the historical
+    format.
     """
     with_profile = any(r.profile != "baseline" for r in reports)
+    with_simd = any(r.beam_passes is not None for r in reports)
     lines = []
     if title:
         lines.append(title)
         lines.append("=" * len(title))
-    lines.append(ResourceReport.header(with_profile=with_profile))
-    lines.extend(r.row(with_profile=with_profile) for r in reports)
+    lines.append(ResourceReport.header(with_profile=with_profile, with_simd=with_simd))
+    lines.extend(r.row(with_profile=with_profile, with_simd=with_simd) for r in reports)
     return "\n".join(lines)
 
 

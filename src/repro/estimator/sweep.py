@@ -100,6 +100,7 @@ def sweep_operation(
     use_cache: bool = True,
     resume: bool = True,
     stats: dict | None = None,
+    simd: bool = False,
 ) -> list[ResourceReport]:
     """Compile ``name`` at each distance and collect resource reports.
 
@@ -113,6 +114,11 @@ def sweep_operation(
     a list of those).  A list makes the profile a sweep axis: reports come
     back profile-major, so one call prices the same operation on several
     architectures side by side.
+
+    ``simd`` runs the beam-pass rescheduling phase on every compile
+    (:mod:`repro.hardware.simd`): reports price the compacted schedule and
+    carry beam-pass counts; cache keys extend only for SIMD cells, so
+    existing checkpoints stay valid.
     """
     try:
         build, shape = OPERATION_PROGRAMS[name]
@@ -126,7 +132,9 @@ def sweep_operation(
 
         cells = []
         for prof in profs:
-            cells.extend(resource_cells([name], distances, rounds, profile=prof))
+            cells.extend(
+                resource_cells([name], distances, rounds, profile=prof, simd=simd)
+            )
         payloads = run_cells(
             cells,
             jobs=jobs,
@@ -143,7 +151,7 @@ def sweep_operation(
                 dx=d, dz=d, tile_rows=shape[0], tile_cols=shape[1], rounds=rounds,
                 profile=prof,
             )
-            compiled = compiler.compile(build(), operation=name)
+            compiled = compiler.compile(build(), operation=name, simd=simd)
             assert compiled.resources is not None
             reports.append(compiled.resources)
     return reports
@@ -159,6 +167,7 @@ def sweep_all(
     use_cache: bool = True,
     resume: bool = True,
     stats: dict | None = None,
+    simd: bool = False,
 ) -> dict[str, list[ResourceReport]]:
     """Resource sweeps for every registered operation.
 
@@ -176,7 +185,9 @@ def sweep_all(
         cells = []
         for op in ops:
             for prof in profs:
-                cells.extend(resource_cells([op], distances, rounds, profile=prof))
+                cells.extend(
+                    resource_cells([op], distances, rounds, profile=prof, simd=simd)
+                )
         payloads = run_cells(
             cells,
             jobs=jobs,
@@ -189,7 +200,7 @@ def sweep_all(
         n = len(profs) * len(distances)
         return {op: reports[i * n : (i + 1) * n] for i, op in enumerate(ops)}
     return {
-        name: sweep_operation(name, distances, rounds, profile=profile)
+        name: sweep_operation(name, distances, rounds, profile=profile, simd=simd)
         for name in OPERATION_PROGRAMS
     }
 
@@ -214,6 +225,7 @@ def logical_error_sweep(
     window: int | None = None,
     commit: int | None = None,
     shot_shards: int = 1,
+    simd: bool = False,
 ) -> list[LogicalErrorReport]:
     """Decoded logical error rate across code distances and noise strengths.
 
@@ -259,6 +271,13 @@ def logical_error_sweep(
     be preset *names* (or ``(name, scale)`` pairs): those are resolved
     against each profile in turn, so e.g. ``"near_term"`` means each
     architecture's own near-term calibration rather than the default one.
+
+    ``simd`` compiles every memory circuit through the beam-pass
+    rescheduling phase (:mod:`repro.hardware.simd`) with each profile's
+    ``simd_*`` knobs — the compacted schedule shrinks idle-dephasing
+    windows, so dephasing-aware presets see a (usually lower) logical
+    error rate.  SIMD cells extend their cache keys non-default-only, so
+    existing checkpoints stay valid.
     """
     from repro.decode.memory import MemoryExperiment
 
@@ -292,6 +311,7 @@ def logical_error_sweep(
                     profile=prof,
                     window=window,
                     commit=commit,
+                    simd=simd,
                 )
             )
         groups = [shard_cell(c, shot_shards) for c in cells]
@@ -322,6 +342,7 @@ def logical_error_sweep(
                 profile=prof,
                 window=window,
                 commit=commit,
+                simd=simd,
             )
             for model in models:
                 reports.append(

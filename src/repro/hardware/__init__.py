@@ -5,8 +5,9 @@ Implements the paper's §3: the M/O/J grid of trapping zones
 model (:class:`~repro.hardware.model.HardwareModel`, Table 5), time-resolved
 hardware circuits (:class:`~repro.hardware.circuit.HardwareCircuit`),
 movement-validity checking with junction-conflict resolution
-(:mod:`repro.hardware.validity`), and space-time resource accounting
-(:mod:`repro.hardware.resources`).  All calibration constants are views of
+(:mod:`repro.hardware.validity`), space-time resource accounting
+(:mod:`repro.hardware.resources`), and SIMD beam-pass rescheduling
+(:mod:`repro.hardware.simd`).  All calibration constants are views of
 a declarative, fingerprinted :class:`~repro.hardware.profile.HardwareProfile`
 (:mod:`repro.hardware.profile`; shipped calibrations under ``profiles/``).
 """
@@ -23,6 +24,7 @@ from repro.hardware.profile import (
     register_profile,
 )
 from repro.hardware.resources import ResourceReport, estimate_resources
+from repro.hardware.simd import SimdReport, baseline_beam_passes, simd_schedule
 from repro.hardware.validity import CircuitValidityError, check_circuit
 
 __all__ = [
@@ -40,6 +42,9 @@ __all__ = [
     "available_profiles",
     "ResourceReport",
     "estimate_resources",
+    "SimdReport",
+    "simd_schedule",
+    "baseline_beam_passes",
     "CircuitValidityError",
     "check_circuit",
 ]

@@ -320,6 +320,45 @@ class HardwareCircuit:
         self._measure_count = max(self._measure_count, other._measure_count)
         self._invalidate()
 
+    @classmethod
+    def from_columns(
+        cls,
+        columns: CircuitColumns,
+        t: np.ndarray | None = None,
+        measure_count: int = 0,
+    ) -> "HardwareCircuit":
+        """Rebuild a circuit from one columnar snapshot, optionally retimed.
+
+        ``columns`` becomes a single frozen chunk in append order == column
+        order; ``t`` (when given) replaces the start times — the retiming
+        hook the SIMD beam-pass scheduler uses.  Labels are carried over at
+        the same row indices.  Replay provenance is *not* carried: the rows
+        are already materialized, and a retimed stream no longer matches the
+        uniform time-shift contract of :class:`ReplayBlock`.
+        """
+        if columns.n and int(columns.nsites.max()) > 2:
+            raise ValueError("from_columns does not support arity>2 rows")
+        if t is None:
+            t = columns.t
+        t = np.ascontiguousarray(t, dtype=np.float64)
+        if t.shape != (columns.n,):
+            raise ValueError(f"t must have shape ({columns.n},), got {t.shape}")
+        new = cls()
+        new._frozen.append(
+            (
+                columns.codes.copy(),
+                columns.site0.copy(),
+                columns.site1.copy(),
+                columns.nsites.copy(),
+                t.copy(),
+                columns.duration.copy(),
+            )
+        )
+        new._frozen_len = columns.n
+        new._label_of = dict(columns.labels)
+        new._measure_count = measure_count
+        return new
+
     def replay_block(
         self,
         start: int,

@@ -38,6 +38,7 @@ __all__ = [
     "DEFAULT_PROFILE",
     "PROFILE_DIR",
     "REQUIRED_GATES",
+    "SIMD_MODES",
     "get_profile",
     "register_profile",
     "available_profiles",
@@ -72,6 +73,10 @@ REQUIRED_GATES: tuple[str, ...] = (
 
 #: Grid topologies the geometry layer implements.
 SUPPORTED_TOPOLOGIES: tuple[str, ...] = ("2d_junction",)
+
+#: Beam timing disciplines the SIMD scheduler implements
+#: (see :mod:`repro.hardware.simd`).
+SIMD_MODES: tuple[str, ...] = ("site_parallel", "pass_serial")
 
 #: Field order of one noise preset's canonical tuple form.
 _NOISE_FIELDS: tuple[str, ...] = ("p1", "p2", "p_prep", "p_meas", "t2_us")
@@ -159,6 +164,14 @@ class HardwareProfile:
     junction_us: float = 105.0
     gate_times_us: tuple[tuple[str, float], ...] = _BASELINE_GATE_TIMES
     noise_presets: tuple = _BASELINE_PRESETS
+    #: SIMD beam capacity: max gates per beam pass (0 = unlimited width).
+    simd_width: int = 0
+    #: Per-beam-pass setup overhead in µs (calibration, beam steering).
+    simd_pass_overhead_us: float = 0.0
+    #: Beam timing discipline: ``site_parallel`` (passes on disjoint sites
+    #: overlap freely) or ``pass_serial`` (one global beam serializes all
+    #: passes — beam-pass-limited hardware).
+    simd_mode: str = "site_parallel"
     #: Extra free-form metadata (citation, calibration date); not fingerprinted.
     meta: tuple[tuple[str, str], ...] = field(default=())
 
@@ -200,6 +213,23 @@ class HardwareProfile:
         for gate, dur in table.items():
             if not dur > 0 or dur != dur:
                 raise ProfileError(f"gate_times_us[{gate!r}]={dur!r} must be a positive duration")
+        if (
+            isinstance(self.simd_width, bool)
+            or not isinstance(self.simd_width, int)
+            or self.simd_width < 0
+        ):
+            raise ProfileError(
+                f"simd_width={self.simd_width!r} must be an integer >= 0 (0 = unlimited)"
+            )
+        ov = self.simd_pass_overhead_us
+        if not isinstance(ov, (int, float)) or not (ov >= 0) or ov != ov or ov == float("inf"):
+            raise ProfileError(
+                f"simd_pass_overhead_us={ov!r} must be a finite number >= 0"
+            )
+        if self.simd_mode not in SIMD_MODES:
+            raise ProfileError(
+                f"simd_mode={self.simd_mode!r} must be one of {list(SIMD_MODES)}"
+            )
         for preset, row in self.noise_presets:
             for fname, v in row:
                 if fname == "t2_us":
@@ -270,8 +300,25 @@ class HardwareProfile:
             "gate_times_us": list(self.gate_times_us),
             "noise_presets": [[name, list(row)] for name, row in self.noise_presets],
         }
+        # Appended only when non-default (PR 7/8 pattern): profiles written
+        # before SIMD scheduling existed keep their fingerprints, so every
+        # pre-existing checkpoint and content-addressed cache entry stays
+        # valid.
+        if self._simd_nondefault():
+            payload["simd"] = {
+                "width": self.simd_width,
+                "pass_overhead_us": self.simd_pass_overhead_us,
+                "mode": self.simd_mode,
+            }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _simd_nondefault(self) -> bool:
+        return bool(
+            self.simd_width
+            or self.simd_pass_overhead_us
+            or self.simd_mode != "site_parallel"
+        )
 
     # ------------------------------------------------------------ serialization
     def to_dict(self) -> dict:
@@ -289,6 +336,10 @@ class HardwareProfile:
                 for name, row in self.noise_presets
             },
         }
+        if self._simd_nondefault():
+            out["simd_width"] = self.simd_width
+            out["simd_pass_overhead_us"] = self.simd_pass_overhead_us
+            out["simd_mode"] = self.simd_mode
         if self.meta:
             out["meta"] = dict(self.meta)
         return out

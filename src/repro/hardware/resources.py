@@ -43,6 +43,10 @@ class ResourceReport:
     gate_histogram: dict[str, int]
     #: Name of the hardware profile the circuit was compiled under.
     profile: str = "baseline"
+    #: Laser beam passes the schedule needs (None: SIMD scheduling off).
+    beam_passes: int | None = None
+    #: Mean SIMD group width over the effective beam capacity (None: off).
+    simd_utilization: float | None = None
 
     ROW_FIELDS = (
         "operation",
@@ -57,24 +61,30 @@ class ResourceReport:
         "n_instructions",
     )
 
-    def row(self, with_profile: bool = False) -> str:
+    def row(self, with_profile: bool = False, with_simd: bool = False) -> str:
         prefix = f"{self.profile:<16} " if with_profile else ""
+        suffix = ""
+        if with_simd:
+            passes = "-" if self.beam_passes is None else str(self.beam_passes)
+            util = "-" if self.simd_utilization is None else f"{self.simd_utilization:.3f}"
+            suffix = f" {passes:>11} {util:>9}"
         return prefix + (
             f"{self.operation:<22} {self.dx:>3} {self.dz:>3} "
             f"{self.computation_time_s:>12.6f} {self.grid_area_m2:>12.4e} "
             f"{self.spacetime_volume_s_m2:>14.4e} {self.n_trapping_zones:>6} "
             f"{self.zone_seconds:>12.6f} {self.active_zone_seconds:>14.6f} "
             f"{self.n_instructions:>8}"
-        )
+        ) + suffix
 
     @staticmethod
-    def header(with_profile: bool = False) -> str:
+    def header(with_profile: bool = False, with_simd: bool = False) -> str:
         prefix = f"{'profile':<16} " if with_profile else ""
+        suffix = f" {'beam_passes':>11} {'simd_util':>9}" if with_simd else ""
         return prefix + (
             f"{'operation':<22} {'dx':>3} {'dz':>3} {'time_s':>12} {'area_m2':>12} "
             f"{'volume_s_m2':>14} {'zones':>6} {'zone_s':>12} {'active_zone_s':>14} "
             f"{'n_instr':>8}"
-        )
+        ) + suffix
 
     def to_dict(self) -> dict:
         """JSON-friendly form (checkpoint payloads, benchmark artifacts).
@@ -85,7 +95,13 @@ class ResourceReport:
         """
         import dataclasses
 
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        # SIMD columns appear only when the scheduler ran, so pre-SIMD
+        # checkpoint payloads (and their content fingerprints) are unchanged.
+        if self.beam_passes is None:
+            del out["beam_passes"]
+            del out["simd_utilization"]
+        return out
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ResourceReport":
@@ -102,6 +118,7 @@ def estimate_resources(
     operation: str = "",
     dx: int = 0,
     dz: int = 0,
+    simd_report=None,
 ) -> ResourceReport:
     """Compute the §3.4 resource figures from a time-resolved circuit.
 
@@ -145,4 +162,6 @@ def estimate_resources(
         n_instructions=cols.n,
         gate_histogram=circuit.gate_histogram(),
         profile=grid.profile.name,
+        beam_passes=None if simd_report is None else simd_report.beam_passes,
+        simd_utilization=None if simd_report is None else simd_report.utilization,
     )

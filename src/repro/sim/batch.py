@@ -51,7 +51,7 @@ from repro.sim.interpreter import (
     init_run_state,
     resolve_qubits,
 )
-from repro.sim.noise import NoiseModel
+from repro.sim.noise import IdleClock, NoiseModel
 from repro.sim.packed import PackedTableau, apply_packed
 from repro.sim.quasi import QuasiCliffordSampler
 
@@ -226,13 +226,12 @@ class BatchRunner:
         deterministic: dict[str, np.ndarray] = {}
 
         noise_rng: np.random.Generator | None = None
-        busy_until: np.ndarray | None = None
+        idle: IdleClock | None = None
         if noise is not None and not noise.is_trivial:
             if noise_seed is None and seed is not None:
                 noise_seed = seed + _NOISE_SEED_OFFSET
             noise_rng = np.random.default_rng(noise_seed)
-            if noise.tracks_idle:
-                busy_until = np.zeros(n_qubits)
+            idle = noise.idle_clock(n_qubits)
 
         if independent_streams:
             rngs = [
@@ -267,9 +266,9 @@ class BatchRunner:
             for inj in pending_injections.get((idx, "before"), ()):
                 self._inject(tableau, inj)
 
-            if busy_until is not None and noise_rng is not None:
+            if idle is not None and noise_rng is not None:
                 for q in qubits:
-                    gap = starts[idx] - busy_until[q]
+                    gap = idle.gap_before(q, starts[idx])
                     if gap > 0:
                         noise.apply_idle_dephasing(tableau, q, gap, noise_rng)
 
@@ -307,9 +306,8 @@ class BatchRunner:
 
             if noise_rng is not None and qubits:
                 noise.apply_operation_noise(tableau, name, durations[idx], qubits, noise_rng)
-                if busy_until is not None:
-                    for q in qubits:
-                        busy_until[q] = ends[idx]
+                if idle is not None:
+                    idle.mark_busy(qubits, ends[idx])
 
         return BatchResult(
             tableau=tableau,

@@ -52,7 +52,7 @@ from repro.sim.interpreter import (
     init_run_state,
     resolve_qubits,
 )
-from repro.sim.noise import NoiseModel, NoiseParams
+from repro.sim.noise import IdleClock, NoiseModel, NoiseParams
 from repro.sim.packed import unpack_bits
 
 __all__ = [
@@ -200,8 +200,7 @@ def enumerate_fault_sites(
     """
     occupancy, ion_index, n_qubits = init_run_state(circuit, initial_occupancy)
     tracks_idle = params.t2_us is not None
-    busy_until = np.zeros(n_qubits) if tracks_idle else None
-    last_row: list[int] | None = [-1] * n_qubits if _gap_preds is not None else None
+    idle = IdleClock(n_qubits, track_rows=_gap_preds is not None) if tracks_idle else None
     sites: list[FaultSite] = []
 
     cols = circuit.sorted_columns()
@@ -214,12 +213,12 @@ def enumerate_fault_sites(
         name = names[idx]
         qubits = resolve_qubits(name, qsites[idx], occupancy, ion_index)
 
-        if busy_until is not None:
+        if idle is not None:
             for q in qubits:
-                gap = starts[idx] - busy_until[q]
+                gap = idle.gap_before(q, starts[idx])
                 if gap > 0:
-                    if last_row is not None:
-                        _gap_preds.append(last_row[q])
+                    if _gap_preds is not None:
+                        _gap_preds.append(idle.last_row[q])
                     sites.append(
                         FaultSite(idx, "before", "idle", ((q, "Z"),), duration_us=float(gap))
                     )
@@ -262,12 +261,8 @@ def enumerate_fault_sites(
                     FaultSite(idx, "after", "dephase", ((q, "Z"),), duration_us=duration)
                 )
 
-        if busy_until is not None:
-            for q in qubits:
-                busy_until[q] = ends[idx]
-            if last_row is not None:
-                for q in qubits:
-                    last_row[q] = idx
+        if idle is not None:
+            idle.mark_busy(qubits, ends[idx], idx)
 
     return sites
 
